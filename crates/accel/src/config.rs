@@ -1,0 +1,120 @@
+//! Accelerator configuration.
+
+use qtaccel_core::trainer::TrainerConfig;
+use qtaccel_core::MaxMode;
+use qtaccel_hdl::resource::{Device, FmaxModel, PowerModel};
+
+/// How read-after-write hazards between consecutive updates are handled.
+///
+/// The paper's design point is `Forwarding`: "Our pipelined implementation
+/// fully handles the dependencies between consecutive updates allowing it
+/// to process one sample every clock cycle." The other two modes exist to
+/// quantify that choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HazardMode {
+    /// Full forwarding network: in-flight results bypass the BRAM into
+    /// younger stages. One sample per cycle; values identical to
+    /// sequential execution.
+    #[default]
+    Forwarding,
+    /// No forwarding: the front end stalls until the conflicting write
+    /// commits. Values identical to sequential execution, throughput
+    /// degraded (the `ablation_forwarding` experiment).
+    StallOnly,
+    /// No interlock at all: reads return stale BRAM contents when a
+    /// dependent write is in flight. Full throughput but *wrong* values —
+    /// included to demonstrate the dependency handling is load-bearing.
+    Ignore,
+}
+
+/// Full configuration of one accelerator instance.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelConfig {
+    /// Algorithm hyper-parameters and policies (shared with the software
+    /// golden reference, which is what makes equivalence testable).
+    pub trainer: TrainerConfig,
+    /// Hazard handling mode.
+    pub hazard: HazardMode,
+    /// Target device for resource utilization and fmax modelling.
+    pub device: Device,
+    /// The calibrated clock model (Fig. 6).
+    pub fmax: FmaxModel,
+    /// The calibrated power model (Figs. 3/5).
+    pub power: PowerModel,
+}
+
+impl Default for AccelConfig {
+    fn default() -> Self {
+        Self {
+            trainer: TrainerConfig::q_learning(),
+            hazard: HazardMode::default(),
+            device: Device::XCVU13P,
+            fmax: FmaxModel::default(),
+            power: PowerModel::default(),
+        }
+    }
+}
+
+impl AccelConfig {
+    /// Replace the learning rate α.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.trainer = self.trainer.with_alpha(alpha);
+        self
+    }
+
+    /// Replace the discount factor γ.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.trainer = self.trainer.with_gamma(gamma);
+        self
+    }
+
+    /// Replace the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.trainer = self.trainer.with_seed(seed);
+        self
+    }
+
+    /// Replace the hazard mode.
+    pub fn with_hazard(mut self, hazard: HazardMode) -> Self {
+        self.hazard = hazard;
+        self
+    }
+
+    /// Replace the max-selection semantics (Qmax array vs exact scan).
+    pub fn with_max_mode(mut self, mode: MaxMode) -> Self {
+        self.trainer = self.trainer.with_max_mode(mode);
+        self
+    }
+
+    /// Replace the target device.
+    pub fn with_device(mut self, device: Device) -> Self {
+        self.device = device;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_q_learning_forwarding_on_vu13p() {
+        let c = AccelConfig::default();
+        assert_eq!(c.hazard, HazardMode::Forwarding);
+        assert_eq!(c.device.name, "xcvu13p");
+        assert!(!c.trainer.forward_next_action);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = AccelConfig::default()
+            .with_alpha(0.25)
+            .with_gamma(0.5)
+            .with_seed(99)
+            .with_hazard(HazardMode::StallOnly);
+        assert_eq!(c.trainer.alpha, 0.25);
+        assert_eq!(c.trainer.gamma, 0.5);
+        assert_eq!(c.trainer.seed, 99);
+        assert_eq!(c.hazard, HazardMode::StallOnly);
+    }
+}

@@ -1,0 +1,58 @@
+#![deny(missing_docs)]
+
+//! QTAccel — the cycle-accurate model of the paper's contribution.
+//!
+//! This crate implements the generic 4-stage pipelined QRL accelerator of
+//! §IV (Fig. 1) as a cycle-accurate simulator:
+//!
+//! * [`pipeline`] — the pipeline core: per-cycle stage scheduling,
+//!   one-cycle-latency BRAM images, and the **hazard network** that
+//!   handles the read-after-write dependencies between consecutive
+//!   updates. Three hazard modes make the headline claim testable:
+//!   [`HazardMode::Forwarding`] (the paper's design: one sample retired
+//!   every clock), [`HazardMode::StallOnly`] (a naive design that holds
+//!   the front end instead — the `ablation_forwarding` experiment), and
+//!   [`HazardMode::Ignore`] (no interlock at all: stale operands, wrong
+//!   values — demonstrates that the dependency handling is *necessary*).
+//! * [`qlearning`] / [`sarsa`] — the two §V engine customizations:
+//!   Q-Learning (random behaviour, greedy update via the Qmax array) and
+//!   SARSA (ε-greedy, on-policy action forwarding from stage 2 to
+//!   stage 1).
+//! * [`multi`] — the §VII-A parallel-pipeline configurations: two
+//!   state-sharing pipelines over dual-port BRAM with write-collision
+//!   arbitration (Fig. 8) and N independent pipelines over partitioned
+//!   state spaces (Fig. 9).
+//! * [`bandit`] — the §VII-B Multi-Armed Bandit customization: the reward
+//!   table is replaced by Irwin–Hall LFSR normal samplers; ε-greedy and
+//!   EXP3 (probability-table) arm selection.
+//! * [`resources`] — the structural resource model (DSP/BRAM/FF/LUT)
+//!   behind Figs. 3, 4, 5 and the modeled throughput behind Fig. 6.
+//!
+//! The central correctness property, asserted by this crate's tests and
+//! the workspace integration tests: **with forwarding enabled, an engine
+//! seeded with master seed k produces a bit-identical Q-table to the
+//! software golden reference (`qtaccel_core::RefTrainer`) with the same
+//! seed, format and Qmax semantics** — while retiring one sample per
+//! clock cycle after the 3-cycle fill.
+
+pub mod bandit;
+pub mod config;
+pub mod multi;
+pub mod pipeline;
+pub mod prob_engine;
+pub mod qlearning;
+pub mod resources;
+pub mod sarsa;
+pub mod structural;
+pub mod trace;
+
+pub use bandit::{BanditAccel, BanditPolicy, StatefulBanditAccel};
+pub use config::{AccelConfig, HazardMode};
+pub use multi::{DualPipelineShared, IndependentPipelines};
+pub use pipeline::AccelPipeline;
+pub use prob_engine::{ProbPolicyAccel, WeightRule};
+pub use qlearning::QLearningAccel;
+pub use resources::AccelResources;
+pub use sarsa::SarsaAccel;
+pub use structural::StructuralQLearning;
+pub use trace::{PipelineTrace, TraceEvent};

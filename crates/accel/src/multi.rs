@@ -1,0 +1,659 @@
+//! Parallel-pipeline configurations (§VII-A, Figs. 8 and 9).
+//!
+//! * [`DualPipelineShared`] — two agents exploring the *same* environment
+//!   and updating *shared* Q/R/Qmax tables through the two ports of
+//!   dual-port BRAM. Same-cycle writes to the same address are
+//!   arbitrated: port A (pipeline 0) "arbitrarily overwrites the other".
+//!   Throughput doubles; convergence is unaffected as long as the agents
+//!   rarely collide on the same state (the paper's argument, measured
+//!   here by the collision counter).
+//! * [`IndependentPipelines`] — N agents on N disjoint sub-environments,
+//!   each with its own BRAM bank ("each accessing a separate memory
+//!   block"). Linear throughput scaling bounded only by memory.
+
+use std::collections::VecDeque;
+
+use crate::config::{AccelConfig, HazardMode};
+use crate::pipeline::AccelPipeline;
+use crate::resources::{analyze, resource_report, AccelResources, EngineKind};
+use qtaccel_core::policy::Policy;
+use qtaccel_core::qtable::{MaxMode, QTable};
+use qtaccel_core::trainer::{seed_unit, Transition};
+use qtaccel_envs::{sa_index, Action, Environment, RewardTable, State};
+use qtaccel_fixed::QValue;
+use qtaccel_hdl::lfsr::Lfsr32;
+use qtaccel_hdl::pipeline::CycleStats;
+use qtaccel_hdl::rng::{epsilon_greedy_draw, epsilon_to_q32, RngSource, SeedSequence};
+
+const WRITE_OFFSET: u64 = 3;
+const FILL: u64 = 3;
+
+#[derive(Debug, Clone, Copy)]
+struct Pending<T> {
+    commit_cycle: u64,
+    addr: usize,
+    value: T,
+    /// Lost a same-cycle write collision: visible to the owning
+    /// pipeline's forwarding network (the datapath tap) but never
+    /// committed to the shared BRAM.
+    squashed: bool,
+}
+
+#[derive(Debug, Clone)]
+struct AgentCtx {
+    start_rng: Lfsr32,
+    behavior_rng: Lfsr32,
+    update_rng: Lfsr32,
+    carry: Option<(State, Option<Action>)>,
+}
+
+impl AgentCtx {
+    fn new(seed: u64, pipeline: u64) -> Self {
+        let seeds = SeedSequence::new(seed);
+        Self {
+            start_rng: Lfsr32::new(seeds.derive(seed_unit::of(pipeline, seed_unit::START))),
+            behavior_rng: Lfsr32::new(seeds.derive(seed_unit::of(pipeline, seed_unit::BEHAVIOR))),
+            update_rng: Lfsr32::new(seeds.derive(seed_unit::of(pipeline, seed_unit::UPDATE))),
+            carry: None,
+        }
+    }
+}
+
+/// Two state-sharing pipelines over dual-port shared tables (Fig. 8).
+#[derive(Debug, Clone)]
+pub struct DualPipelineShared<V> {
+    num_states: usize,
+    num_actions: usize,
+    config: AccelConfig,
+    alpha_v: V,
+    one_minus_alpha: V,
+    alpha_gamma: V,
+    q_mem: Vec<V>,
+    qmax_mem: Vec<(V, Action)>,
+    rewards: RewardTable<V>,
+    pending_q: [VecDeque<Pending<V>>; 2],
+    pending_qmax: [VecDeque<Pending<(V, Action)>>; 2],
+    agents: [AgentCtx; 2],
+    cycle: u64,
+    samples: u64,
+    forwards: u64,
+    q_collisions: u64,
+    qmax_collisions: u64,
+}
+
+impl<V: QValue> DualPipelineShared<V> {
+    /// Build a dual-pipeline instance over `env`'s dimensions.
+    ///
+    /// # Panics
+    /// If the hazard mode is not `Forwarding` — the shared configuration
+    /// is only specified for the paper's design point.
+    pub fn new<E: Environment>(env: &E, config: AccelConfig) -> Self {
+        assert_eq!(
+            config.hazard,
+            HazardMode::Forwarding,
+            "dual-pipeline mode models the forwarding design only"
+        );
+        let alpha_v = V::from_f64(config.trainer.alpha);
+        let gamma_v = V::from_f64(config.trainer.gamma);
+        let (s, a) = (env.num_states(), env.num_actions());
+        // Shared Qmax BRAM init file (same stream as single-pipeline
+        // configurations: seed bank 0).
+        let mut qmax_mem = vec![(V::zero(), 0 as Action); s];
+        let mut init_rng = Lfsr32::new(
+            SeedSequence::new(config.trainer.seed)
+                .derive(seed_unit::of(0, seed_unit::QMAX_INIT)),
+        );
+        for e in &mut qmax_mem {
+            e.1 = init_rng.below(a as u32);
+        }
+        Self {
+            num_states: s,
+            num_actions: a,
+            alpha_v,
+            one_minus_alpha: alpha_v.one_minus(),
+            alpha_gamma: alpha_v.mul(gamma_v),
+            q_mem: vec![V::zero(); s * a],
+            qmax_mem,
+            rewards: RewardTable::from_env(env),
+            pending_q: [VecDeque::new(), VecDeque::new()],
+            pending_qmax: [VecDeque::new(), VecDeque::new()],
+            agents: [
+                AgentCtx::new(config.trainer.seed, 0),
+                AgentCtx::new(config.trainer.seed, 1),
+            ],
+            cycle: 0,
+            samples: 0,
+            forwards: 0,
+            q_collisions: 0,
+            qmax_collisions: 0,
+            config,
+        }
+    }
+
+    fn commit_q_until(&mut self, cycle: u64) {
+        for p in 0..2 {
+            while let Some(w) = self.pending_q[p].front() {
+                if w.commit_cycle < cycle {
+                    if !w.squashed {
+                        self.q_mem[w.addr] = w.value;
+                    }
+                    self.pending_q[p].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn commit_qmax_until(&mut self, cycle: u64) {
+        for p in 0..2 {
+            while let Some(w) = self.pending_qmax[p].front() {
+                if w.commit_cycle < cycle {
+                    if !w.squashed {
+                        self.qmax_mem[w.addr] = w.value;
+                    }
+                    self.pending_qmax[p].pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Read through pipeline `p`'s forwarding network: own pending writes
+    /// bypass; the other pipeline's in-flight writes are invisible (there
+    /// is no cross-pipeline forwarding in the design).
+    fn read_q(&mut self, p: usize, s: State, a: Action, cycle: u64) -> V {
+        self.commit_q_until(cycle);
+        let idx = sa_index(s, a, self.num_actions);
+        if let Some(w) = self.pending_q[p].iter().rev().find(|w| w.addr == idx) {
+            self.forwards += 1;
+            w.value
+        } else {
+            self.q_mem[idx]
+        }
+    }
+
+    fn read_qmax(&mut self, p: usize, s: State, cycle: u64) -> (V, Action) {
+        self.commit_qmax_until(cycle);
+        let idx = s as usize;
+        if let Some(w) = self.pending_qmax[p].iter().rev().find(|w| w.addr == idx) {
+            self.forwards += 1;
+            w.value
+        } else {
+            self.qmax_mem[idx]
+        }
+    }
+
+    fn read_max(&mut self, p: usize, s: State, cycle: u64) -> (V, Action) {
+        match self.config.trainer.max_mode {
+            MaxMode::QmaxArray => self.read_qmax(p, s, cycle),
+            MaxMode::ExactScan => {
+                let mut best = (self.read_q(p, s, 0, cycle), 0u32);
+                for a in 1..self.num_actions as Action {
+                    let v = self.read_q(p, s, a, cycle);
+                    if v.vcmp(best.0) == core::cmp::Ordering::Greater {
+                        best = (v, a);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    fn select_behavior(&mut self, p: usize, s: State, cycle: u64) -> Action {
+        let n = self.num_actions as u32;
+        match self.config.trainer.behavior {
+            Policy::Random => self.agents[p].behavior_rng.below(n),
+            Policy::Greedy => self.read_max(p, s, cycle).1,
+            Policy::EpsilonGreedy { epsilon } => {
+                let thr = epsilon_to_q32(epsilon);
+                match epsilon_greedy_draw(&mut self.agents[p].behavior_rng, thr, n) {
+                    Some(a) => a,
+                    None => self.read_max(p, s, cycle).1,
+                }
+            }
+            Policy::Boltzmann { .. } => {
+                panic!("Boltzmann is not synthesizable on the QRL engine")
+            }
+        }
+    }
+
+    fn select_update(&mut self, p: usize, s_next: State, cycle: u64) -> (Action, V) {
+        let n = self.num_actions as u32;
+        match self.config.trainer.update {
+            Policy::Greedy => {
+                let (v, a) = self.read_max(p, s_next, cycle);
+                (a, v)
+            }
+            Policy::Random => {
+                let a = self.agents[p].update_rng.below(n);
+                (a, self.read_q(p, s_next, a, cycle))
+            }
+            Policy::EpsilonGreedy { epsilon } => {
+                let thr = epsilon_to_q32(epsilon);
+                match epsilon_greedy_draw(&mut self.agents[p].update_rng, thr, n) {
+                    Some(a) => (a, self.read_q(p, s_next, a, cycle)),
+                    None => {
+                        let (v, a) = self.read_max(p, s_next, cycle);
+                        (a, v)
+                    }
+                }
+            }
+            Policy::Boltzmann { .. } => {
+                panic!("Boltzmann is not synthesizable on the QRL engine")
+            }
+        }
+    }
+
+    /// Advance one clock: both pipelines retire one sample each.
+    pub fn step_cycle<E: Environment>(&mut self, env: &E) -> [Transition<V>; 2] {
+        let c1 = self.cycle;
+        let write_cycle = c1 + WRITE_OFFSET;
+        let mut results: [Option<Transition<V>>; 2] = [None, None];
+        let mut writes: [Option<(usize, V, State, Action)>; 2] = [None, None];
+
+        for p in 0..2 {
+            // Stage 1.
+            let (s, a) = match self.agents[p].carry.take() {
+                None => {
+                    let s = env.random_start(&mut self.agents[p].start_rng);
+                    let a = self.select_behavior(p, s, c1);
+                    (s, a)
+                }
+                Some((s, Some(a))) => (s, a),
+                Some((s, None)) => {
+                    let a = self.select_behavior(p, s, c1);
+                    (s, a)
+                }
+            };
+            let s_next = env.transition(s, a);
+            let r = self.rewards.get(s, a);
+            let q_sa = self.read_q(p, s, a, c1);
+            // Stage 2.
+            let (a_next, q_next) = self.select_update(p, s_next, c1 + 1);
+            // Stage 3.
+            let q_new = self
+                .one_minus_alpha
+                .mul(q_sa)
+                .add(self.alpha_v.mul(r))
+                .add(self.alpha_gamma.mul(q_next));
+            writes[p] = Some((sa_index(s, a, self.num_actions), q_new, s, a));
+            self.agents[p].carry = if env.is_terminal(s_next) {
+                None
+            } else {
+                Some((
+                    s_next,
+                    if self.config.trainer.forward_next_action {
+                        Some(a_next)
+                    } else {
+                        None
+                    },
+                ))
+            };
+            results[p] = Some(Transition {
+                s,
+                a,
+                r,
+                s_next,
+                a_next,
+                q_new,
+            });
+        }
+
+        // Stage 4: arbitrated writeback.
+        let (w0, w1) = (writes[0].unwrap(), writes[1].unwrap());
+        let q_collision = w0.0 == w1.0;
+        if q_collision {
+            self.q_collisions += 1;
+        }
+        for (p, w) in [(0usize, w0), (1usize, w1)] {
+            self.pending_q[p].push_back(Pending {
+                commit_cycle: write_cycle,
+                addr: w.0,
+                value: w.1,
+                // Port A (pipeline 0) wins collisions.
+                squashed: q_collision && p == 1,
+            });
+        }
+        // Qmax read-modify-write per pipeline, then arbitration.
+        let mut qmax_writes: [Option<(usize, (V, Action))>; 2] = [None, None];
+        for (p, w) in [(0usize, w0), (1usize, w1)] {
+            self.commit_qmax_until(write_cycle);
+            let idx = w.2 as usize;
+            let current = self.pending_qmax[p]
+                .iter()
+                .rev()
+                .find(|x| x.addr == idx)
+                .map(|x| x.value.0)
+                .unwrap_or(self.qmax_mem[idx].0);
+            if w.1.vcmp(current) == core::cmp::Ordering::Greater {
+                qmax_writes[p] = Some((idx, (w.1, w.3)));
+            }
+        }
+        let qmax_collision = matches!((qmax_writes[0], qmax_writes[1]),
+            (Some((a0, _)), Some((a1, _))) if a0 == a1);
+        if qmax_collision {
+            self.qmax_collisions += 1;
+        }
+        for (p, w) in qmax_writes.iter().enumerate() {
+            if let Some((addr, value)) = w {
+                self.pending_qmax[p].push_back(Pending {
+                    commit_cycle: write_cycle,
+                    addr: *addr,
+                    value: *value,
+                    squashed: qmax_collision && p == 1,
+                });
+            }
+        }
+
+        self.cycle += 1;
+        self.samples += 2;
+        [results[0].take().unwrap(), results[1].take().unwrap()]
+    }
+
+    /// Run `cycles` clock cycles (2 samples each).
+    pub fn train_cycles<E: Environment>(&mut self, env: &E, cycles: u64) -> CycleStats {
+        for _ in 0..cycles {
+            self.step_cycle(env);
+        }
+        self.stats()
+    }
+
+    /// Merged cycle counters: 2 samples per cycle.
+    pub fn stats(&self) -> CycleStats {
+        CycleStats {
+            cycles: if self.cycle == 0 { 0 } else { self.cycle + FILL },
+            samples: self.samples,
+            stalls: 0,
+            fill_bubbles: FILL,
+            forwards: self.forwards,
+        }
+    }
+
+    /// Same-cycle Q-write collisions (one write lost each).
+    pub fn q_collisions(&self) -> u64 {
+        self.q_collisions
+    }
+
+    /// Same-cycle Qmax-write collisions.
+    pub fn qmax_collisions(&self) -> u64 {
+        self.qmax_collisions
+    }
+
+    /// The shared Q-table (committed image plus surviving in-flight
+    /// writes).
+    pub fn q_table(&self) -> QTable<V> {
+        let mut mem = self.q_mem.clone();
+        // Apply both pipelines' unsquashed pending writes in cycle order.
+        let mut all: Vec<&Pending<V>> = self
+            .pending_q
+            .iter()
+            .flatten()
+            .filter(|w| !w.squashed)
+            .collect();
+        all.sort_by_key(|w| w.commit_cycle);
+        for w in all {
+            mem[w.addr] = w.value;
+        }
+        let mut q = QTable::new(self.num_states, self.num_actions);
+        for s in 0..self.num_states as State {
+            for a in 0..self.num_actions as Action {
+                q.set(s, a, mem[sa_index(s, a, self.num_actions)]);
+            }
+        }
+        q
+    }
+
+    /// Exact greedy policy from the shared table.
+    pub fn greedy_policy(&self) -> Vec<Action> {
+        self.q_table().greedy_policy()
+    }
+
+    /// Resources: two datapaths (2× DSP/FF/LUT), *shared* tables — the
+    /// paper's point that dual-port BRAM gives the second pipeline for
+    /// free memory-wise.
+    pub fn resources(&self) -> AccelResources {
+        let kind = if self.config.trainer.forward_next_action {
+            EngineKind::Sarsa
+        } else {
+            EngineKind::QLearning
+        };
+        let single = resource_report(self.num_states, self.num_actions, V::storage_bits(), kind);
+        let mut r = analyze(
+            self.num_states,
+            self.num_actions,
+            V::storage_bits(),
+            kind,
+            &self.config,
+            2.0,
+        );
+        r.report.dsp = 2 * single.dsp;
+        r.report.ff = 2 * single.ff;
+        r.report.lut = 2 * single.lut;
+        r.utilization = r.report.utilization(&self.config.device);
+        r.power_mw = self.config.power.power_mw(&r.report, r.fmax_mhz);
+        r
+    }
+}
+
+/// N independent pipelines over disjoint sub-environments (Fig. 9).
+#[derive(Debug, Clone)]
+pub struct IndependentPipelines<V> {
+    pipes: Vec<AccelPipeline<V>>,
+}
+
+impl<V: QValue> IndependentPipelines<V> {
+    /// One pipeline per environment, each with its own RNG seed bank and
+    /// its own BRAM banks.
+    pub fn new<E: Environment>(envs: &[E], config: AccelConfig) -> Self {
+        assert!(!envs.is_empty(), "need at least one sub-environment");
+        Self {
+            pipes: envs
+                .iter()
+                .enumerate()
+                .map(|(i, e)| AccelPipeline::new(e, config, i as u64))
+                .collect(),
+        }
+    }
+
+    /// Number of pipelines.
+    pub fn len(&self) -> usize {
+        self.pipes.len()
+    }
+
+    /// Whether there are no pipelines (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.pipes.is_empty()
+    }
+
+    /// Train every pipeline for `samples_each` updates on its own
+    /// environment. Pipelines are simulated on parallel host threads —
+    /// they share no state, exactly like the hardware banks.
+    pub fn train_samples<E: Environment + Sync>(
+        &mut self,
+        envs: &[E],
+        samples_each: u64,
+    ) -> CycleStats {
+        assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
+        crossbeam::thread::scope(|scope| {
+            for (pipe, env) in self.pipes.iter_mut().zip(envs) {
+                scope.spawn(move |_| {
+                    pipe.run_samples(env, samples_each);
+                });
+            }
+        })
+        .expect("pipeline simulation thread panicked");
+        self.stats()
+    }
+
+    /// Merged counters: wall-clock is the slowest pipeline, samples sum.
+    pub fn stats(&self) -> CycleStats {
+        let mut merged = CycleStats::default();
+        for p in &self.pipes {
+            merged.merge(&p.stats());
+        }
+        merged.fill_bubbles = FILL;
+        merged
+    }
+
+    /// Access pipeline `i`'s learned Q-table.
+    pub fn q_table(&self, i: usize) -> QTable<V> {
+        self.pipes[i].q_table()
+    }
+
+    /// Greedy policy of pipeline `i`.
+    pub fn greedy_policy(&self, i: usize) -> Vec<Action> {
+        self.pipes[i].greedy_policy()
+    }
+
+    /// Summed resources: every pipeline brings its own tables and
+    /// datapath.
+    pub fn resources(&self) -> qtaccel_hdl::resource::ResourceReport {
+        let mut total = qtaccel_hdl::resource::ResourceReport::default();
+        for p in &self.pipes {
+            let kind = if p.config().trainer.forward_next_action {
+                EngineKind::Sarsa
+            } else {
+                EngineKind::QLearning
+            };
+            total = total.combine(resource_report(
+                p.num_states(),
+                p.num_actions(),
+                V::storage_bits(),
+                kind,
+            ));
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtaccel_envs::{ActionSet, GridWorld, PartitionedGrid};
+    use qtaccel_fixed::Q8_8;
+
+    fn grid() -> GridWorld {
+        GridWorld::builder(8, 8).goal(7, 7).build()
+    }
+
+    #[test]
+    fn dual_pipeline_doubles_throughput() {
+        let g = grid();
+        let mut d = DualPipelineShared::<Q8_8>::new(&g, AccelConfig::default());
+        let stats = d.train_cycles(&g, 10_000);
+        assert_eq!(stats.samples, 20_000);
+        assert_eq!(stats.cycles, 10_003);
+        assert!(stats.samples_per_cycle() > 1.99);
+    }
+
+    #[test]
+    fn dual_pipeline_collisions_are_counted_and_rare() {
+        let g = grid();
+        let mut d = DualPipelineShared::<Q8_8>::new(&g, AccelConfig::default());
+        d.train_cycles(&g, 20_000);
+        let rate = d.q_collisions() as f64 / 20_000.0;
+        // Random agents on a 64-cell world with 4 actions collide on the
+        // same (s, a) pair rarely (expected ~1/256 per cycle).
+        assert!(rate < 0.05, "collision rate {rate}");
+        assert!(
+            d.q_collisions() > 0,
+            "20k cycles on 256 pairs should collide at least once"
+        );
+    }
+
+    #[test]
+    fn dual_pipeline_still_learns() {
+        let g = grid();
+        let mut d = DualPipelineShared::<Q8_8>::new(&g, AccelConfig::default());
+        d.train_cycles(&g, 200_000);
+        let opt =
+            qtaccel_core::eval::step_optimality(&g, &d.greedy_policy(), &g.shortest_distances());
+        assert!(opt > 0.9, "step-optimality {opt}");
+    }
+
+    #[test]
+    fn dual_pipeline_agents_explore_differently() {
+        let g = grid();
+        let mut d = DualPipelineShared::<Q8_8>::new(&g, AccelConfig::default());
+        let [t0, t1] = d.step_cycle(&g);
+        // Different seed banks: the two agents almost surely start in
+        // different states.
+        assert!(
+            t0.s != t1.s || t0.a != t1.a,
+            "agents should not shadow each other"
+        );
+    }
+
+    #[test]
+    fn dual_resources_share_bram() {
+        let g = grid();
+        let d = DualPipelineShared::<Q8_8>::new(&g, AccelConfig::default());
+        let single = resource_report(
+            g.num_states(),
+            g.num_actions(),
+            16,
+            EngineKind::QLearning,
+        );
+        let r = d.resources();
+        assert_eq!(r.report.bram36, single.bram36, "tables are shared");
+        assert_eq!(r.report.dsp, 2 * single.dsp, "datapaths are duplicated");
+        assert!((r.throughput_msps - 2.0 * 189.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "forwarding design only")]
+    fn dual_requires_forwarding() {
+        let g = grid();
+        DualPipelineShared::<Q8_8>::new(
+            &g,
+            AccelConfig::default().with_hazard(HazardMode::StallOnly),
+        );
+    }
+
+    #[test]
+    fn independent_pipelines_scale_linearly() {
+        let mut rng = qtaccel_hdl::lfsr::Lfsr32::new(77);
+        let part = PartitionedGrid::new(16, 16, 2, 2, 10, ActionSet::Four, &mut rng);
+        let mut ind = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+        assert_eq!(ind.len(), 4);
+        let stats = ind.train_samples(part.partitions(), 10_000);
+        assert_eq!(stats.samples, 40_000);
+        assert_eq!(stats.cycles, 10_003, "lockstep wall-clock");
+        assert!(stats.samples_per_cycle() > 3.9);
+    }
+
+    #[test]
+    fn independent_pipelines_learn_their_own_worlds() {
+        let mut rng = qtaccel_hdl::lfsr::Lfsr32::new(3);
+        let part = PartitionedGrid::new(16, 8, 2, 1, 0, ActionSet::Four, &mut rng);
+        let mut ind = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+        ind.train_samples(part.partitions(), 200_000);
+        for i in 0..2 {
+            let env = part.partition(i);
+            let opt = qtaccel_core::eval::step_optimality(
+                env,
+                &ind.greedy_policy(i),
+                &env.shortest_distances(),
+            );
+            assert!(opt > 0.9, "partition {i} step-optimality {opt}");
+        }
+    }
+
+    #[test]
+    fn independent_resources_sum() {
+        let mut rng = qtaccel_hdl::lfsr::Lfsr32::new(9);
+        let part = PartitionedGrid::new(16, 16, 2, 2, 0, ActionSet::Four, &mut rng);
+        let ind = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+        let r = ind.resources();
+        assert_eq!(r.dsp, 16, "4 pipelines x 4 DSPs");
+        assert!(r.bram36 >= 4 * 3, "each bank has Q+R+Qmax");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sub-environment")]
+    fn independent_rejects_empty() {
+        IndependentPipelines::<Q8_8>::new(&[] as &[GridWorld], AccelConfig::default());
+    }
+}

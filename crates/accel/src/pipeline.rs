@@ -1,0 +1,651 @@
+//! The cycle-accurate 4-stage pipeline core (Fig. 1).
+//!
+//! ## Stage timing
+//!
+//! Iteration *i* enters stage 1 at cycle `c1(i)` and proceeds one stage
+//! per cycle:
+//!
+//! | cycle      | stage | work |
+//! |------------|-------|------|
+//! | `c1`       | 1     | state select (random start or forwarded Sₜ₊₁), behaviour action, transition function, issue Q(Sₜ,Aₜ) and R(Sₜ,Aₜ) reads, derive `1−α`, `α·γ` |
+//! | `c1+1`     | 2     | update-policy action for Sₜ₊₁, issue Q(Sₜ₊₁,Aₜ₊₁) / Qmax(Sₜ₊₁) read |
+//! | `c1+2`     | 3     | three multiplies + adder tree (Eq. 3) |
+//! | `c1+3`     | 4     | write back Q(Sₜ,Aₜ); monotone Qmax update |
+//!
+//! With no stalls, `c1(i+1) = c1(i) + 1` — one sample per clock after the
+//! 3-cycle fill.
+//!
+//! ## Hazards
+//!
+//! A BRAM write issued at cycle `w` is visible only to reads issued at
+//! cycles `> w` (read-first port semantics). Consecutive iterations
+//! re-read locations the previous 1–3 iterations are still updating, so
+//! the design needs the forwarding network of [`HazardMode::Forwarding`]:
+//! every read consults the queue of in-flight (pending) writes and the
+//! youngest matching value bypasses the BRAM. The model implements all
+//! three hazard policies of [`HazardMode`] over an explicitly *delayed*
+//! memory image — `q_mem` holds only committed writes, and the pending
+//! queue carries (commit-cycle, address, value) triples — so stale reads
+//! in `Ignore` mode are real stale values, not emulation shortcuts.
+
+use std::collections::VecDeque;
+
+use crate::config::{AccelConfig, HazardMode};
+use qtaccel_core::policy::Policy;
+use qtaccel_core::qtable::{MaxMode, QTable, QmaxTable};
+use qtaccel_core::trainer::{seed_unit, Transition};
+use qtaccel_envs::{sa_index, Action, Environment, RewardTable, State};
+use qtaccel_fixed::QValue;
+use qtaccel_hdl::lfsr::Lfsr32;
+use qtaccel_hdl::pipeline::CycleStats;
+use qtaccel_hdl::rng::{epsilon_greedy_draw, epsilon_to_q32, RngSource, SeedSequence};
+
+/// Stage-4 offset from stage 1.
+const WRITE_OFFSET: u64 = 3;
+/// Pipeline fill depth (cycles before the first retirement).
+const FILL: u64 = 3;
+
+/// A write travelling down the pipe, not yet visible in the BRAM image.
+#[derive(Debug, Clone, Copy)]
+struct Pending<T> {
+    commit_cycle: u64,
+    addr: usize,
+    value: T,
+}
+
+/// The pipeline core shared by the Q-Learning and SARSA engines (and, in
+/// pairs, by the dual-pipeline configuration).
+#[derive(Debug, Clone)]
+pub struct AccelPipeline<V> {
+    num_states: usize,
+    num_actions: usize,
+    config: AccelConfig,
+    // Stage-1 derived constants.
+    alpha_v: V,
+    one_minus_alpha: V,
+    alpha_gamma: V,
+    // Enable-gated LFSR units.
+    start_rng: Lfsr32,
+    behavior_rng: Lfsr32,
+    update_rng: Lfsr32,
+    // Committed memory images (the BRAM contents).
+    q_mem: Vec<V>,
+    qmax_mem: Vec<(V, Action)>,
+    rewards: RewardTable<V>,
+    // In-flight writes.
+    pending_q: VecDeque<Pending<V>>,
+    pending_qmax: VecDeque<Pending<(V, Action)>>,
+    // Inter-iteration carry: (state, forwarded on-policy action).
+    carry: Option<(State, Option<Action>)>,
+    next_c1: u64,
+    stats: CycleStats,
+}
+
+impl<V: QValue> AccelPipeline<V> {
+    /// Build a pipeline for `env`'s dimensions. `pipeline_index` selects
+    /// the RNG seed bank (0 for single-pipeline configurations — the bank
+    /// the software golden reference uses).
+    pub fn new<E: Environment>(env: &E, config: AccelConfig, pipeline_index: u64) -> Self {
+        let seeds = SeedSequence::new(config.trainer.seed);
+        let alpha_v = V::from_f64(config.trainer.alpha);
+        let gamma_v = V::from_f64(config.trainer.gamma);
+        let (s, a) = (env.num_states(), env.num_actions());
+        assert!(s > 0 && a > 0, "environment must be non-empty");
+        // Qmax BRAM init file: random greedy-action fields (see
+        // QmaxTable::randomize_actions for why this is required).
+        let mut qmax_mem = vec![(V::zero(), 0 as Action); s];
+        let mut init_rng = Lfsr32::new(
+            seeds.derive(seed_unit::of(pipeline_index, seed_unit::QMAX_INIT)),
+        );
+        for e in &mut qmax_mem {
+            e.1 = init_rng.below(a as u32);
+        }
+        Self {
+            num_states: s,
+            num_actions: a,
+            config,
+            alpha_v,
+            one_minus_alpha: alpha_v.one_minus(),
+            alpha_gamma: alpha_v.mul(gamma_v),
+            start_rng: Lfsr32::new(seeds.derive(seed_unit::of(pipeline_index, seed_unit::START))),
+            behavior_rng: Lfsr32::new(
+                seeds.derive(seed_unit::of(pipeline_index, seed_unit::BEHAVIOR)),
+            ),
+            update_rng: Lfsr32::new(
+                seeds.derive(seed_unit::of(pipeline_index, seed_unit::UPDATE)),
+            ),
+            q_mem: vec![V::zero(); s * a],
+            qmax_mem,
+            rewards: RewardTable::from_env(env),
+            pending_q: VecDeque::new(),
+            pending_qmax: VecDeque::new(),
+            carry: None,
+            next_c1: 0,
+            stats: CycleStats {
+                fill_bubbles: FILL,
+                ..CycleStats::default()
+            },
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AccelConfig {
+        &self.config
+    }
+
+    /// Cycle statistics so far.
+    pub fn stats(&self) -> CycleStats {
+        self.stats
+    }
+
+    /// Number of states the tables are sized for.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Number of actions the tables are sized for.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    // ---- memory model -------------------------------------------------
+
+    fn commit_q_until(&mut self, cycle: u64) {
+        while let Some(p) = self.pending_q.front() {
+            if p.commit_cycle < cycle {
+                self.q_mem[p.addr] = p.value;
+                self.pending_q.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn commit_qmax_until(&mut self, cycle: u64) {
+        while let Some(p) = self.pending_qmax.front() {
+            if p.commit_cycle < cycle {
+                self.qmax_mem[p.addr] = p.value;
+                self.pending_qmax.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Read Q(s, a) as issued at `cycle`. Returns the operand value and
+    /// the stall delay this read imposes (nonzero only in stall-only
+    /// mode).
+    fn read_q(&mut self, s: State, a: Action, cycle: u64) -> (V, u64) {
+        self.commit_q_until(cycle);
+        let idx = sa_index(s, a, self.num_actions);
+        let newest = self.pending_q.iter().rev().find(|p| p.addr == idx);
+        match self.config.hazard {
+            HazardMode::Forwarding => match newest {
+                Some(p) => {
+                    self.stats.forwards += 1;
+                    (p.value, 0)
+                }
+                None => (self.q_mem[idx], 0),
+            },
+            HazardMode::Ignore => (self.q_mem[idx], 0),
+            HazardMode::StallOnly => match newest {
+                // Hold the front end until the write commits, then the
+                // read returns the fresh value.
+                Some(p) => (p.value, p.commit_cycle + 1 - cycle),
+                None => (self.q_mem[idx], 0),
+            },
+        }
+    }
+
+    /// Read the Qmax entry for `s` as issued at `cycle`.
+    fn read_qmax(&mut self, s: State, cycle: u64) -> ((V, Action), u64) {
+        self.commit_qmax_until(cycle);
+        let idx = s as usize;
+        let newest = self.pending_qmax.iter().rev().find(|p| p.addr == idx);
+        match self.config.hazard {
+            HazardMode::Forwarding => match newest {
+                Some(p) => {
+                    self.stats.forwards += 1;
+                    (p.value, 0)
+                }
+                None => (self.qmax_mem[idx], 0),
+            },
+            HazardMode::Ignore => (self.qmax_mem[idx], 0),
+            HazardMode::StallOnly => match newest {
+                Some(p) => (p.value, p.commit_cycle + 1 - cycle),
+                None => (self.qmax_mem[idx], 0),
+            },
+        }
+    }
+
+    /// Row-maximum read per the configured [`MaxMode`]: a single Qmax
+    /// access (0 extra cycles) or the unoptimized |A|-read row scan
+    /// (|A|−1 extra stage-2 cycles — the design point §V-A eliminates;
+    /// quantified by the `ablation_qmax` experiment).
+    fn read_max(&mut self, s: State, cycle: u64) -> (V, Action, u64) {
+        match self.config.trainer.max_mode {
+            MaxMode::QmaxArray => {
+                let ((v, a), d) = self.read_qmax(s, cycle);
+                (v, a, d)
+            }
+            MaxMode::ExactScan => {
+                let mut delay = 0u64;
+                let (mut best_v, mut best_a) = {
+                    let (v, d) = self.read_q(s, 0, cycle);
+                    delay = delay.max(d);
+                    (v, 0u32)
+                };
+                for a in 1..self.num_actions as Action {
+                    let (v, d) = self.read_q(s, a, cycle + a as u64);
+                    delay = delay.max(d);
+                    if v.vcmp(best_v) == core::cmp::Ordering::Greater {
+                        best_v = v;
+                        best_a = a;
+                    }
+                }
+                // The scan occupies stage 2 for |A| cycles instead of 1.
+                (best_v, best_a, delay + self.num_actions as u64 - 1)
+            }
+        }
+    }
+
+    /// Stage-4 Qmax read-modify-write.
+    fn qmax_writeback(&mut self, s: State, a: Action, v: V, cycle: u64) {
+        self.commit_qmax_until(cycle);
+        let idx = s as usize;
+        // The comparator's view of the current maximum: through the
+        // forwarding network normally, the stale BRAM word in Ignore mode.
+        let current = match self.config.hazard {
+            HazardMode::Ignore => self.qmax_mem[idx].0,
+            _ => self
+                .pending_qmax
+                .iter()
+                .rev()
+                .find(|p| p.addr == idx)
+                .map(|p| p.value.0)
+                .unwrap_or(self.qmax_mem[idx].0),
+        };
+        if v.vcmp(current) == core::cmp::Ordering::Greater {
+            self.pending_qmax.push_back(Pending {
+                commit_cycle: cycle,
+                addr: idx,
+                value: (v, a),
+            });
+        }
+    }
+
+    // ---- policy units --------------------------------------------------
+
+    /// Stage-1 behaviour action selection; returns the action and any
+    /// stall delay from the Qmax read of a greedy component.
+    fn behavior_select(&mut self, s: State, cycle: u64) -> (Action, u64) {
+        let n = self.num_actions as u32;
+        match self.config.trainer.behavior {
+            Policy::Random => (self.behavior_rng.below(n), 0),
+            Policy::Greedy => {
+                let (v, a, d) = self.read_max(s, cycle);
+                let _ = v;
+                (a, d)
+            }
+            Policy::EpsilonGreedy { epsilon } => {
+                match epsilon_greedy_draw(&mut self.behavior_rng, epsilon_to_q32(epsilon), n) {
+                    Some(a) => (a, 0),
+                    None => {
+                        let (_, a, d) = self.read_max(s, cycle);
+                        (a, d)
+                    }
+                }
+            }
+            Policy::Boltzmann { .. } => panic!(
+                "Boltzmann behaviour policy is not synthesizable on the QRL engine; \
+                 use the probability-table bandit engine (qtaccel_accel::bandit)"
+            ),
+        }
+    }
+
+    /// Stage-2 update-policy selection: the next action *and* the Q-value
+    /// operand for the Eq. (3) multiply.
+    fn update_select(&mut self, s_next: State, cycle: u64) -> (Action, V, u64) {
+        let n = self.num_actions as u32;
+        match self.config.trainer.update {
+            Policy::Greedy => {
+                let (v, a, d) = self.read_max(s_next, cycle);
+                (a, v, d)
+            }
+            Policy::Random => {
+                let a = self.update_rng.below(n);
+                let (v, d) = self.read_q(s_next, a, cycle);
+                (a, v, d)
+            }
+            Policy::EpsilonGreedy { epsilon } => {
+                match epsilon_greedy_draw(&mut self.update_rng, epsilon_to_q32(epsilon), n) {
+                    Some(a) => {
+                        let (v, d) = self.read_q(s_next, a, cycle);
+                        (a, v, d)
+                    }
+                    None => {
+                        let (v, a, d) = self.read_max(s_next, cycle);
+                        (a, v, d)
+                    }
+                }
+            }
+            Policy::Boltzmann { .. } => panic!(
+                "Boltzmann update policy is not synthesizable on the QRL engine; \
+                 use the probability-table bandit engine (qtaccel_accel::bandit)"
+            ),
+        }
+    }
+
+    // ---- execution ------------------------------------------------------
+
+    /// Push one iteration down the pipe: one retired sample. Returns the
+    /// transition for tracing.
+    pub fn step<E: Environment>(&mut self, env: &E) -> Transition<V> {
+        debug_assert_eq!(env.num_states(), self.num_states, "environment mismatch");
+        debug_assert_eq!(env.num_actions(), self.num_actions, "environment mismatch");
+        let c1 = self.next_c1;
+
+        // Stage 1: state + behaviour action + transition + reads.
+        let (s, a, d1) = match self.carry.take() {
+            None => {
+                let s = env.random_start(&mut self.start_rng);
+                let (a, d) = self.behavior_select(s, c1);
+                (s, a, d)
+            }
+            Some((s, Some(a))) => (s, a, 0), // forwarded on-policy action
+            Some((s, None)) => {
+                let (a, d) = self.behavior_select(s, c1);
+                (s, a, d)
+            }
+        };
+        let s_next = env.transition(s, a);
+        let r = self.rewards.get(s, a);
+        let (q_sa, dq) = self.read_q(s, a, c1 + d1);
+        let d1 = d1 + dq;
+
+        // Stage 2 (cycle c1 + d1 + 1): next action + its Q operand.
+        let c2 = c1 + d1 + 1;
+        let (a_next, q_next, d2) = self.update_select(s_next, c2);
+
+        // Stage 3: Eq. (3).
+        let q_new = self
+            .one_minus_alpha
+            .mul(q_sa)
+            .add(self.alpha_v.mul(r))
+            .add(self.alpha_gamma.mul(q_next));
+
+        // Stage 4 (cycle c1 + stalls + 3): writeback.
+        let stalls = d1 + d2;
+        let write_cycle = c1 + stalls + WRITE_OFFSET;
+        self.pending_q.push_back(Pending {
+            commit_cycle: write_cycle,
+            addr: sa_index(s, a, self.num_actions),
+            value: q_new,
+        });
+        self.qmax_writeback(s, a, q_new, write_cycle);
+
+        self.stats.samples += 1;
+        self.stats.stalls += stalls;
+        self.stats.cycles = write_cycle + 1;
+        self.next_c1 = c1 + stalls + 1;
+
+        self.carry = if env.is_terminal(s_next) {
+            None
+        } else {
+            Some((
+                s_next,
+                if self.config.trainer.forward_next_action {
+                    Some(a_next)
+                } else {
+                    None
+                },
+            ))
+        };
+
+        Transition {
+            s,
+            a,
+            r,
+            s_next,
+            a_next,
+            q_new,
+        }
+    }
+
+    /// Run `n` iterations.
+    pub fn run_samples<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
+        for _ in 0..n {
+            self.step(env);
+        }
+        self.stats
+    }
+
+    /// Inject a single-event upset: flip `bit` of the *committed* Q BRAM
+    /// word for (s, a). Models a radiation-induced soft error in the
+    /// on-chip memory (in-flight pipeline values are unaffected, exactly
+    /// as a BRAM cell flip would behave). Used by the `seu_robustness`
+    /// experiment.
+    pub fn inject_q_bit_flip(&mut self, s: State, a: Action, bit: u32) {
+        let idx = sa_index(s, a, self.num_actions);
+        self.q_mem[idx] = self.q_mem[idx].flip_bit(bit);
+    }
+
+    /// Extract the architectural Q-table (committed image plus in-flight
+    /// writes, applied in order — what reading back the BRAM after
+    /// drain would show).
+    pub fn q_table(&self) -> QTable<V> {
+        let mut q = QTable::new(self.num_states, self.num_actions);
+        let mut mem = self.q_mem.clone();
+        for p in &self.pending_q {
+            mem[p.addr] = p.value;
+        }
+        for s in 0..self.num_states as State {
+            for a in 0..self.num_actions as Action {
+                q.set(s, a, mem[sa_index(s, a, self.num_actions)]);
+            }
+        }
+        q
+    }
+
+    /// Extract the architectural Qmax array.
+    pub fn qmax_table(&self) -> QmaxTable<V> {
+        let mut mem = self.qmax_mem.clone();
+        for p in &self.pending_qmax {
+            mem[p.addr] = p.value;
+        }
+        let mut t = QmaxTable::new(self.num_states);
+        for (s, (v, a)) in mem.iter().enumerate() {
+            t.poke(s as State, *v, *a);
+        }
+        t
+    }
+
+    /// Exact greedy policy from the architectural Q-table.
+    pub fn greedy_policy(&self) -> Vec<Action> {
+        self.q_table().greedy_policy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtaccel_core::trainer::{RefTrainer, TrainerConfig};
+    use qtaccel_envs::GridWorld;
+    use qtaccel_fixed::{Q16_16, Q8_8};
+
+    fn grid() -> GridWorld {
+        GridWorld::builder(8, 8).goal(7, 7).build()
+    }
+
+    fn config(seed: u64) -> AccelConfig {
+        AccelConfig::default().with_seed(seed)
+    }
+
+    #[test]
+    fn one_sample_per_cycle_with_forwarding() {
+        let g = grid();
+        let mut p = AccelPipeline::<Q8_8>::new(&g, config(1), 0);
+        let stats = p.run_samples(&g, 10_000);
+        assert_eq!(stats.samples, 10_000);
+        assert_eq!(stats.stalls, 0, "forwarding never stalls");
+        assert_eq!(stats.cycles, 10_000 + FILL, "fill + 1/cycle");
+        assert!(stats.samples_per_cycle() > 0.999);
+    }
+
+    #[test]
+    fn forwarding_events_happen() {
+        // Consecutive updates do collide on this small world; the
+        // forwarding network must actually fire.
+        let g = GridWorld::builder(2, 2).goal(1, 1).build();
+        let mut p = AccelPipeline::<Q8_8>::new(&g, config(2), 0);
+        let stats = p.run_samples(&g, 5_000);
+        assert!(stats.forwards > 0, "no hazards on a 4-state world?");
+    }
+
+    #[test]
+    fn bit_exact_vs_golden_reference_q_learning() {
+        let g = grid();
+        for seed in [1u64, 7, 42, 12345] {
+            let mut hw = AccelPipeline::<Q8_8>::new(&g, config(seed), 0);
+            let mut sw = RefTrainer::<Q8_8, _>::new(
+                g.clone(),
+                TrainerConfig::q_learning().with_seed(seed),
+            );
+            hw.run_samples(&g, 20_000);
+            sw.run_samples(20_000);
+            assert_eq!(
+                hw.q_table().as_slice(),
+                sw.q().as_slice(),
+                "seed {seed}: pipeline diverged from sequential reference"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_exact_vs_golden_reference_sarsa() {
+        let g = grid();
+        for seed in [3u64, 99] {
+            let mut cfg = config(seed);
+            cfg.trainer = TrainerConfig::sarsa(0.2).with_seed(seed);
+            let mut hw = AccelPipeline::<Q8_8>::new(&g, cfg, 0);
+            let mut sw =
+                RefTrainer::<Q8_8, _>::new(g.clone(), TrainerConfig::sarsa(0.2).with_seed(seed));
+            hw.run_samples(&g, 20_000);
+            sw.run_samples(20_000);
+            assert_eq!(
+                hw.q_table().as_slice(),
+                sw.q().as_slice(),
+                "seed {seed}: SARSA pipeline diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn stall_mode_is_slower_but_value_identical() {
+        let g = GridWorld::builder(4, 4).goal(3, 3).build();
+        let mut fwd = AccelPipeline::<Q8_8>::new(&g, config(5), 0);
+        let mut stall =
+            AccelPipeline::<Q8_8>::new(&g, config(5).with_hazard(HazardMode::StallOnly), 0);
+        let sf = fwd.run_samples(&g, 10_000);
+        let ss = stall.run_samples(&g, 10_000);
+        assert_eq!(
+            fwd.q_table().as_slice(),
+            stall.q_table().as_slice(),
+            "stalling must preserve values"
+        );
+        assert!(ss.stalls > 0, "small world must provoke stalls");
+        assert!(
+            ss.cycles > sf.cycles,
+            "stall-only must be slower: {} vs {}",
+            ss.cycles,
+            sf.cycles
+        );
+        assert!(ss.samples_per_cycle() < 1.0);
+    }
+
+    #[test]
+    fn ignore_mode_diverges_from_reference() {
+        // Without dependency handling the pipeline reads stale operands;
+        // on a tiny world the trajectories must diverge measurably.
+        let g = GridWorld::builder(2, 2).goal(1, 1).build();
+        let mut bad =
+            AccelPipeline::<Q16_16>::new(&g, config(6).with_hazard(HazardMode::Ignore), 0);
+        let mut sw = RefTrainer::<Q16_16, _>::new(
+            g.clone(),
+            TrainerConfig::q_learning().with_seed(6),
+        );
+        // Compare step by step: both trajectories eventually converge to
+        // the same fixed point, so the corruption is visible mid-flight,
+        // not necessarily in the final table.
+        let mut diverged = false;
+        for _ in 0..2_000 {
+            let th = bad.step(&g);
+            let ts = sw.step();
+            // Same RNG units => identical (s, a) streams until values
+            // feed back into action selection; q_new differs as soon as a
+            // stale operand is consumed.
+            if th.q_new != ts.q_new || th.s != ts.s || th.a != ts.a {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(
+            diverged,
+            "stale reads should corrupt at least one update on a 4-state world"
+        );
+        // But it still runs at full throughput — that is the trap.
+        assert_eq!(bad.stats().stalls, 0);
+    }
+
+    #[test]
+    fn exact_scan_mode_matches_reference_and_costs_cycles() {
+        let g = GridWorld::builder(4, 4).goal(3, 3).build();
+        let cfg = config(8).with_max_mode(MaxMode::ExactScan);
+        let mut hw = AccelPipeline::<Q8_8>::new(&g, cfg, 0);
+        let mut sw = RefTrainer::<Q8_8, _>::new(
+            g.clone(),
+            TrainerConfig::q_learning()
+                .with_seed(8)
+                .with_max_mode(MaxMode::ExactScan),
+        );
+        let stats = hw.run_samples(&g, 5_000);
+        sw.run_samples(5_000);
+        assert_eq!(hw.q_table().as_slice(), sw.q().as_slice());
+        // Every sample pays the |A|-1 = 3 extra scan cycles.
+        assert!(stats.stalls >= 3 * 5_000, "stalls {}", stats.stalls);
+        assert!(stats.samples_per_cycle() < 0.3);
+    }
+
+    #[test]
+    fn pipeline_learns_the_grid() {
+        let g = grid();
+        let mut p = AccelPipeline::<Q16_16>::new(&g, config(11), 0);
+        p.run_samples(&g, 400_000);
+        let policy = p.greedy_policy();
+        let opt = qtaccel_core::eval::step_optimality(&g, &policy, &g.shortest_distances());
+        assert!(opt > 0.95, "step-optimality {opt}");
+    }
+
+    #[test]
+    fn qmax_extraction_is_upper_bound() {
+        let g = grid();
+        let mut p = AccelPipeline::<Q8_8>::new(&g, config(13), 0);
+        p.run_samples(&g, 50_000);
+        let q = p.q_table();
+        let qmax = p.qmax_table();
+        for s in 0..g.num_states() as State {
+            let (_, true_max) = q.max_exact(s);
+            assert!(qmax.get(s).0 >= true_max, "state {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not synthesizable")]
+    fn boltzmann_rejected_on_qrl_engine() {
+        let g = grid();
+        let mut cfg = config(1);
+        cfg.trainer.behavior = Policy::Boltzmann { temperature: 1.0 };
+        let mut p = AccelPipeline::<Q8_8>::new(&g, cfg, 0);
+        p.step(&g);
+    }
+}

@@ -1,0 +1,135 @@
+//! The Q-Learning engine (§V-A).
+//!
+//! Behaviour policy: uniform random action selection from an LFSR.
+//! Update policy: greedy, realized as a *single* Qmax-array read instead
+//! of an |A|-wide row scan — the optimization that, together with the
+//! constant multiplier count, lets the design scale "to large state
+//! spaces" where the FSM-per-pair baseline cannot.
+
+use crate::config::AccelConfig;
+use crate::pipeline::AccelPipeline;
+use crate::resources::{analyze, AccelResources, EngineKind};
+use qtaccel_core::policy::Policy;
+use qtaccel_core::qtable::{QTable, QmaxTable};
+use qtaccel_core::trainer::Transition;
+use qtaccel_envs::{Action, Environment};
+use qtaccel_fixed::QValue;
+use qtaccel_hdl::pipeline::CycleStats;
+
+/// The Q-Learning accelerator instance.
+#[derive(Debug, Clone)]
+pub struct QLearningAccel<V> {
+    pipe: AccelPipeline<V>,
+}
+
+impl<V: QValue> QLearningAccel<V> {
+    /// Build an engine sized for `env`. The configured behaviour/update
+    /// policies are overridden to the Q-Learning fixture (random /
+    /// greedy); α, γ, seed, hazard mode and Qmax semantics are honoured.
+    pub fn new<E: Environment>(env: &E, mut config: AccelConfig) -> Self {
+        config.trainer.behavior = Policy::Random;
+        config.trainer.update = Policy::Greedy;
+        config.trainer.forward_next_action = false;
+        Self {
+            pipe: AccelPipeline::new(env, config, 0),
+        }
+    }
+
+    /// Run `n` Q-value updates and return the cumulative cycle counters.
+    pub fn train_samples<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
+        self.pipe.run_samples(env, n)
+    }
+
+    /// One update, exposed for tracing.
+    pub fn step<E: Environment>(&mut self, env: &E) -> Transition<V> {
+        self.pipe.step(env)
+    }
+
+    /// Cycle counters so far.
+    pub fn stats(&self) -> CycleStats {
+        self.pipe.stats()
+    }
+
+    /// The learned Q-table (architectural view).
+    pub fn q_table(&self) -> QTable<V> {
+        self.pipe.q_table()
+    }
+
+    /// The Qmax array (architectural view).
+    pub fn qmax_table(&self) -> QmaxTable<V> {
+        self.pipe.qmax_table()
+    }
+
+    /// Exact greedy policy extraction.
+    pub fn greedy_policy(&self) -> Vec<Action> {
+        self.pipe.greedy_policy()
+    }
+
+    /// Inject a single-event upset into the committed Q BRAM word (see
+    /// `AccelPipeline::inject_q_bit_flip`); drives the `seu_robustness`
+    /// experiment.
+    pub fn inject_q_bit_flip(&mut self, s: qtaccel_envs::State, a: Action, bit: u32) {
+        self.pipe.inject_q_bit_flip(s, a, bit);
+    }
+
+    /// Structural resources, modeled fmax/throughput/power for this
+    /// instance (Figs. 3, 4, 6).
+    pub fn resources(&self) -> AccelResources {
+        analyze(
+            self.pipe.num_states(),
+            self.pipe.num_actions(),
+            V::storage_bits(),
+            EngineKind::QLearning,
+            self.pipe.config(),
+            self.pipe.stats().samples_per_cycle().max(
+                // Before any sample retires, report the design rate.
+                if self.pipe.stats().samples == 0 { 1.0 } else { 0.0 },
+            ),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtaccel_envs::{ActionSet, GridWorld};
+    use qtaccel_fixed::Q8_8;
+
+    #[test]
+    fn engine_forces_q_learning_policies() {
+        let g = GridWorld::builder(4, 4).goal(3, 3).build();
+        let mut cfg = AccelConfig::default();
+        // Even if the caller misconfigures policies, the engine fixes them.
+        cfg.trainer.behavior = Policy::Greedy;
+        cfg.trainer.forward_next_action = true;
+        let a = QLearningAccel::<Q8_8>::new(&g, cfg);
+        assert_eq!(a.pipe.config().trainer.behavior, Policy::Random);
+        assert_eq!(a.pipe.config().trainer.update, Policy::Greedy);
+        assert!(!a.pipe.config().trainer.forward_next_action);
+    }
+
+    #[test]
+    fn trains_at_one_sample_per_cycle() {
+        let g = GridWorld::builder(16, 16)
+            .goal(15, 15)
+            .actions(ActionSet::Eight)
+            .build();
+        let mut a = QLearningAccel::<Q8_8>::new(&g, AccelConfig::default());
+        let stats = a.train_samples(&g, 50_000);
+        assert_eq!(stats.samples, 50_000);
+        assert_eq!(stats.cycles, 50_003);
+    }
+
+    #[test]
+    fn resources_match_paper_shape() {
+        let g = GridWorld::builder(512, 512)
+            .goal(511, 511)
+            .actions(ActionSet::Eight)
+            .build();
+        let a = QLearningAccel::<Q8_8>::new(&g, AccelConfig::default());
+        let r = a.resources();
+        assert_eq!(r.report.dsp, 4);
+        assert!(r.utilization.bram_pct > 70.0);
+        assert!((150.0..160.0).contains(&r.throughput_msps));
+    }
+}

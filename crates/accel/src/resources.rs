@@ -1,0 +1,205 @@
+//! Structural resource model for the accelerator (Figs. 3–6).
+//!
+//! The paper's resource story is structural, so the model is too:
+//!
+//! * **DSP**: exactly four multipliers — `α·γ` (stage 1), `α·R`,
+//!   `(1−α)·Q(Sₜ,Aₜ)`, `(α·γ)·Q(Sₜ₊₁,Aₜ₊₁)` (stage 3) — each costing
+//!   [`qtaccel_hdl::dsp::dsp_slices_for_mul`] slices at the datapath
+//!   width. Constant in |S| and |A|: the flat DSP series of Fig. 3.
+//! * **BRAM**: two `|S|·|A|` tables (Q, R) at the value width plus the
+//!   `|S|` Qmax array at value width + `⌈log₂|A|⌉` action bits — the
+//!   linear series of Fig. 4.
+//! * **FF/LUT**: a fixed pipeline skeleton plus per-address-bit register
+//!   and mux costs; SARSA adds its ε-greedy LFSR bank and comparator
+//!   (§VI-C2: "A basic random number generator can be implemented as a
+//!   linear feedback shift register … our logic utilization (register)
+//!   has increased accordingly"). Coefficients are estimates calibrated
+//!   to the paper's "< 0.1 % at 2 M pairs" statement; EXPERIMENTS.md
+//!   records them against each figure.
+
+use crate::config::AccelConfig;
+use qtaccel_hdl::bram::blocks_for;
+use qtaccel_hdl::dsp::dsp_slices_for_mul;
+use qtaccel_hdl::resource::{ResourceReport, Utilization};
+
+/// Which engine the resource estimate is for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Random behaviour / greedy update via Qmax.
+    QLearning,
+    /// ε-greedy on-policy with action forwarding.
+    Sarsa,
+    /// Single-state bandit engine with LFSR reward sampling.
+    Bandit,
+}
+
+/// Number of bits to address one of `n` items.
+pub fn addr_bits(n: usize) -> u32 {
+    if n <= 1 {
+        1
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// Structural resource report for one pipeline instance.
+pub fn resource_report(
+    num_states: usize,
+    num_actions: usize,
+    value_bits: u32,
+    kind: EngineKind,
+) -> ResourceReport {
+    let s = num_states as u64;
+    let sa = (num_states * num_actions) as u64;
+    let abits = addr_bits(num_actions);
+    let sbits = addr_bits(num_states);
+
+    // The four datapath multipliers.
+    let dsp = 4 * dsp_slices_for_mul(value_bits);
+
+    // Q table + reward table + Qmax array. The bandit engine replaces the
+    // reward table with LFSR samplers (§VII-B) and keeps a single-state
+    // Q/probability row, so its table costs collapse.
+    let bram36 = match kind {
+        EngineKind::Bandit => blocks_for(sa, value_bits) + blocks_for(s, value_bits + abits),
+        _ => 2 * blocks_for(sa, value_bits) + blocks_for(s, value_bits + abits),
+    };
+
+    // Pipeline skeleton: 4 stages of state/action/value registers plus
+    // control. Estimated 600 FF fixed + ~8 value words + address regs in
+    // every stage; SARSA adds its LFSR bank (3 x 32 bits of register plus
+    // leap-forward XOR fabric) and the ε comparator.
+    let base_ff = 600 + 8 * value_bits as u64 + 4 * (sbits + abits) as u64;
+    let base_lut = 1200 + 12 * value_bits as u64 + 10 * (sbits + abits) as u64;
+    let (extra_ff, extra_lut) = match kind {
+        EngineKind::QLearning => (0, 0),
+        EngineKind::Sarsa => (96 + 500, 800),
+        EngineKind::Bandit => (12 * 32 + 400, 1200), // Irwin-Hall LFSR bank
+    };
+
+    ResourceReport {
+        dsp,
+        bram36,
+        uram: 0,
+        lut: base_lut + extra_lut,
+        ff: base_ff + extra_ff,
+    }
+}
+
+/// Everything the experiment harness reports per design point.
+#[derive(Debug, Clone, Copy)]
+pub struct AccelResources {
+    /// Absolute resource counts.
+    pub report: ResourceReport,
+    /// Utilization against the configured device.
+    pub utilization: Utilization,
+    /// Modeled clock (MHz).
+    pub fmax_mhz: f64,
+    /// Modeled throughput (million samples/s) at the given issue rate.
+    pub throughput_msps: f64,
+    /// Modeled power (mW).
+    pub power_mw: f64,
+}
+
+/// Analyze one design point under `config`.
+///
+/// `samples_per_cycle` is the pipeline's measured issue rate (1.0 with
+/// forwarding; less when stalling; 2.0 for the dual pipeline).
+pub fn analyze(
+    num_states: usize,
+    num_actions: usize,
+    value_bits: u32,
+    kind: EngineKind,
+    config: &AccelConfig,
+    samples_per_cycle: f64,
+) -> AccelResources {
+    let report = resource_report(num_states, num_actions, value_bits, kind);
+    let utilization = report.utilization(&config.device);
+    let fmax_mhz = config.fmax.fmax_mhz(&config.device, num_states as u64);
+    AccelResources {
+        report,
+        utilization,
+        fmax_mhz,
+        throughput_msps: fmax_mhz * samples_per_cycle,
+        power_mw: config.power.power_mw(&report, fmax_mhz),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtaccel_hdl::resource::Device;
+
+    #[test]
+    fn dsp_count_is_constant_in_state_space() {
+        // Fig. 3's headline: 4 DSPs regardless of |S|.
+        for s in [64usize, 1024, 262_144] {
+            let r = resource_report(s, 8, 16, EngineKind::QLearning);
+            assert_eq!(r.dsp, 4, "|S|={s}");
+        }
+    }
+
+    #[test]
+    fn bram_grows_linearly() {
+        let small = resource_report(4096, 8, 16, EngineKind::QLearning);
+        let big = resource_report(262_144, 8, 16, EngineKind::QLearning);
+        assert!(big.bram36 > 32 * small.bram36, "linear-ish growth");
+        // Largest paper case fits the xcvu13p at high utilization.
+        let u = big.utilization(&Device::XCVU13P);
+        assert!(
+            u.bram_pct > 70.0 && u.bram_pct < 90.0,
+            "paper reports 78.12%: model {}",
+            u.bram_pct
+        );
+        assert!(big.fits(&Device::XCVU13P));
+    }
+
+    #[test]
+    fn register_utilization_stays_tiny() {
+        // "The overall logic/register utilization remains less than 0.1%
+        // for state-action pair size of 2 million."
+        let r = resource_report(262_144, 8, 16, EngineKind::QLearning);
+        let u = r.utilization(&Device::XCVU13P);
+        assert!(u.ff_pct < 0.1, "{}", u.ff_pct);
+        assert!(u.lut_pct < 0.2, "{}", u.lut_pct);
+    }
+
+    #[test]
+    fn sarsa_costs_more_registers_same_dsp_bram() {
+        let ql = resource_report(1024, 8, 16, EngineKind::QLearning);
+        let sa = resource_report(1024, 8, 16, EngineKind::Sarsa);
+        assert_eq!(ql.dsp, sa.dsp, "RNG adds no DSPs (§VI-C2)");
+        assert_eq!(ql.bram36, sa.bram36, "RNG adds no BRAM");
+        assert!(sa.ff > ql.ff, "SARSA's LFSR bank costs registers");
+        assert!(sa.lut > ql.lut);
+    }
+
+    #[test]
+    fn wider_datapath_multiplies_dsp_cost() {
+        let w16 = resource_report(1024, 8, 16, EngineKind::QLearning);
+        let w32 = resource_report(1024, 8, 32, EngineKind::QLearning);
+        assert_eq!(w16.dsp, 4);
+        assert_eq!(w32.dsp, 16, "32-bit multipliers tile 4 slices each");
+        assert!(w32.bram36 > w16.bram36);
+    }
+
+    #[test]
+    fn analyze_bundles_models() {
+        let cfg = crate::config::AccelConfig::default();
+        let a = analyze(262_144, 8, 16, EngineKind::QLearning, &cfg, 1.0);
+        assert!((153.0..159.0).contains(&a.throughput_msps), "{}", a.throughput_msps);
+        assert!(a.power_mw > 0.0);
+        let small = analyze(64, 8, 16, EngineKind::QLearning, &cfg, 1.0);
+        assert_eq!(small.throughput_msps, 189.0);
+        assert!(small.power_mw < a.power_mw, "more BRAM, more power");
+    }
+
+    #[test]
+    fn addr_bits_edge_cases() {
+        assert_eq!(addr_bits(1), 1);
+        assert_eq!(addr_bits(2), 1);
+        assert_eq!(addr_bits(4), 2);
+        assert_eq!(addr_bits(5), 3);
+        assert_eq!(addr_bits(262_144), 18);
+    }
+}

@@ -1,0 +1,25 @@
+#![deny(missing_docs)]
+
+//! Comparison baselines for the QTAccel evaluation.
+//!
+//! * [`fsm_array`] — a model of the state-of-the-art FPGA Q-Learning
+//!   accelerator QTAccel compares against (§VI-F, Fig. 7): Da Silva et
+//!   al., "Parallel implementation of reinforcement learning Q-learning
+//!   technique for FPGA" (IEEE Access 2018). Its defining property, per
+//!   the QTAccel paper: "The limitation of their design is the use of a
+//!   finite state machine for each state-action pair. Thus, the number of
+//!   multipliers required by their design is equal to the number of
+//!   state-action pairs." We implement the functional behaviour (plain
+//!   Q-Learning) plus the structural resource law and the throughput
+//!   model implied by the paper's "more than 15X higher" comparison.
+//! * [`cpu`] — the software baseline of Table II: a "python program in
+//!   which the Q values are stored in a nested dictionary and are indexed
+//!   by state coordinates tuples and actions", reproduced as a hash-map-
+//!   of-hash-maps Q-learning loop (measured, not modeled), plus a dense-
+//!   array Rust variant for calibration.
+
+pub mod cpu;
+pub mod fsm_array;
+
+pub use cpu::{CpuBaseline, CpuKind, CpuThroughput};
+pub use fsm_array::FsmArrayBaseline;

@@ -1,0 +1,7 @@
+//! Ablation A: hazard handling (forwarding vs stalling vs ignoring).
+fn main() {
+    let a = qtaccel_bench::experiments::ablation::run_forwarding(100_000);
+    print!("{}", a.render());
+    let path = qtaccel_bench::report::save_json("ablation_forwarding", &a);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,7 @@
+//! Ablation B: Qmax array vs |A|-read row scan.
+fn main() {
+    let a = qtaccel_bench::experiments::ablation::run_qmax(200_000);
+    print!("{}", a.render());
+    let path = qtaccel_bench::report::save_json("ablation_qmax", &a);
+    println!("saved {}", path.display());
+}

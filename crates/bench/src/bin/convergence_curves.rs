@@ -1,0 +1,7 @@
+//! Convergence-rate curves: single vs dual pipeline, QL vs SARSA.
+fn main() {
+    let c = qtaccel_bench::experiments::convergence::run(1024, 600_000);
+    print!("{}", c.render());
+    let path = qtaccel_bench::report::save_json("convergence", &c);
+    println!("saved {}", path.display());
+}

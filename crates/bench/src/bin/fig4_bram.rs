@@ -1,0 +1,7 @@
+//! Regenerate Fig. 4 (BRAM utilization, both engines).
+fn main() {
+    let f = qtaccel_bench::experiments::fig4::run(262_144);
+    print!("{}", f.render());
+    let path = qtaccel_bench::report::save_json("fig4", &f);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,7 @@
+//! Regenerate Fig. 5 (SARSA resource utilization and power).
+fn main() {
+    let f = qtaccel_bench::experiments::fig5::run(262_144);
+    print!("{}", f.render());
+    let path = qtaccel_bench::report::save_json("fig5", &f);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,9 @@
+//! Regenerate Fig. 6 (throughput for Q-Learning and SARSA).
+use qtaccel_bench::RunScale;
+fn main() {
+    let s = RunScale::full();
+    let f = qtaccel_bench::experiments::fig6::run(s.sim_samples, s.max_states);
+    print!("{}", f.render());
+    let path = qtaccel_bench::report::save_json("fig6", &f);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,7 @@
+//! Regenerate Fig. 7 and the SVI-F baseline comparison.
+fn main() {
+    let f = qtaccel_bench::experiments::fig7::run();
+    print!("{}", f.render());
+    let path = qtaccel_bench::report::save_json("fig7", &f);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,7 @@
+//! Regenerate the Fig. 8 dual-pipeline experiment.
+fn main() {
+    let f = qtaccel_bench::experiments::fig8::run(1024, 600_000);
+    print!("{}", f.render());
+    let path = qtaccel_bench::report::save_json("fig8", &f);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,9 @@
+//! Regenerate the Fig. 9 independent-pipelines experiment.
+fn main() {
+    // 64x64 terrain tiled 1x1 .. 8x8; gamma raised so the largest tile's
+    // diameter stays inside the Q8.8 representable value horizon.
+    let f = qtaccel_bench::experiments::fig9::run(64, &[1, 2, 4, 8], 600, 0.96875);
+    print!("{}", f.render());
+    let path = qtaccel_bench::report::save_json("fig9", &f);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,8 @@
+//! Datapath format ablation: learning quality and hardware cost across
+//! fixed-point widths (the DESIGN.md S4 calibration, measured).
+fn main() {
+    let f = qtaccel_bench::experiments::formats::run(1024, 2_000_000);
+    print!("{}", f.render());
+    let path = qtaccel_bench::report::save_json("formats", &f);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,9 @@
+//! Regenerate the SVII-B multi-armed bandit experiment.
+use qtaccel_bench::RunScale;
+fn main() {
+    let s = RunScale::full();
+    let m = qtaccel_bench::experiments::mab::run(s.bandit_rounds);
+    print!("{}", m.render());
+    let path = qtaccel_bench::report::save_json("mab", &m);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,8 @@
+//! SEU (soft-error) robustness study: inject BRAM bit flips into a
+//! converged Q-table and measure policy damage and recovery.
+fn main() {
+    let s = qtaccel_bench::experiments::seu::run(1024, 400_000);
+    print!("{}", s.render());
+    let path = qtaccel_bench::report::save_json("seu", &s);
+    println!("saved {}", path.display());
+}

@@ -1,0 +1,7 @@
+//! Regenerate Table I (the test-case matrix).
+fn main() {
+    let t = qtaccel_bench::experiments::table1::run();
+    print!("{}", t.render());
+    let path = qtaccel_bench::report::save_json("table1", &t);
+    println!("saved {}", path.display());
+}

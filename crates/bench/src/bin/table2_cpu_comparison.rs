@@ -1,0 +1,9 @@
+//! Regenerate Table II (CPU vs FPGA throughput).
+use qtaccel_bench::RunScale;
+fn main() {
+    let s = RunScale::full();
+    let t = qtaccel_bench::experiments::table2::run(s.cpu_samples, s.sim_samples, s.max_states);
+    print!("{}", t.render());
+    let path = qtaccel_bench::report::save_json("table2", &t);
+    println!("saved {}", path.display());
+}

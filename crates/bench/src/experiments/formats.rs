@@ -1,0 +1,171 @@
+//! Datapath format sweep — the ablation behind DESIGN.md §4's choice of
+//! Q8.8.
+//!
+//! The paper never states its fixed-point width; the BRAM figures imply
+//! 16 bits (DESIGN.md §4). This sweep makes the trade-off explicit:
+//! learning quality and value accuracy against the f64 reference vs the
+//! DSP and BRAM cost of each width, on the same workload and seed.
+
+use crate::grids::paper_grid;
+use crate::report::render_table;
+use qtaccel_accel::resources::{resource_report, EngineKind};
+use qtaccel_accel::{AccelConfig, QLearningAccel};
+use qtaccel_core::eval::step_optimality;
+use qtaccel_core::trainer::{RefTrainer, TrainerConfig};
+use qtaccel_envs::GridWorld;
+use qtaccel_fixed::{QValue, Q16_16, Q4_12, Q8_8};
+use qtaccel_hdl::resource::Device;
+use serde::Serialize;
+
+/// One format's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct FormatRow {
+    /// Format name (`Q8.8`, …).
+    pub format: String,
+    /// Storage bits per table entry.
+    pub bits: u32,
+    /// Step-optimality of the learned policy.
+    pub optimality: f64,
+    /// RMS error of the learned Q-values against the f64 reference run.
+    pub rms_vs_f64: f64,
+    /// DSP slices for the four datapath multipliers.
+    pub dsp: u64,
+    /// BRAM blocks for the largest paper case (262144×8) at this width.
+    pub bram_largest_case: u64,
+    /// Whether the largest paper case still fits the xcvu13p.
+    pub fits_largest_case: bool,
+}
+
+/// The sweep result.
+#[derive(Debug, Clone, Serialize)]
+pub struct Formats {
+    /// Grid size trained.
+    pub states: usize,
+    /// One row per format.
+    pub rows: Vec<FormatRow>,
+}
+
+fn run_format<V: QValue>(g: &GridWorld, samples: u64, reference: &[f64]) -> (f64, f64) {
+    let mut a = QLearningAccel::<V>::new(g, AccelConfig::default().with_seed(77));
+    a.train_samples(g, samples);
+    let opt = step_optimality(g, &a.greedy_policy(), &g.shortest_distances());
+    let q = a.q_table();
+    let n = reference.len() as f64;
+    let rms = (q
+        .as_slice()
+        .iter()
+        .zip(reference)
+        .map(|(v, r)| (v.to_f64() - r) * (v.to_f64() - r))
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    (opt, rms)
+}
+
+/// Run the sweep on a `states`-state grid with `samples` updates per
+/// format.
+pub fn run(states: usize, samples: u64) -> Formats {
+    let g = paper_grid(states, 4);
+    // f64 reference on the identical seed and decision stream.
+    let mut reference = RefTrainer::<f64, _>::new(
+        g.clone(),
+        TrainerConfig::q_learning().with_seed(77),
+    );
+    reference.run_samples(samples);
+    let ref_q: Vec<f64> = reference.q().as_slice().to_vec();
+    let ref_opt = step_optimality(&g, &reference.greedy_policy(), &g.shortest_distances());
+
+    let mut rows = Vec::new();
+    macro_rules! sweep {
+        ($ty:ty) => {{
+            let (opt, rms) = run_format::<$ty>(&g, samples, &ref_q);
+            let bits = <$ty as QValue>::storage_bits();
+            let r = resource_report(262_144, 8, bits, EngineKind::QLearning);
+            rows.push(FormatRow {
+                format: <$ty as QValue>::format_name(),
+                bits,
+                optimality: opt,
+                rms_vs_f64: rms,
+                dsp: r.dsp,
+                bram_largest_case: r.bram36,
+                fits_largest_case: r.fits(&Device::XCVU13P),
+            });
+        }};
+    }
+    sweep!(Q4_12);
+    sweep!(Q8_8);
+    sweep!(Q16_16);
+    rows.push(FormatRow {
+        format: "f64 (reference)".into(),
+        bits: 64,
+        optimality: ref_opt,
+        rms_vs_f64: 0.0,
+        dsp: resource_report(262_144, 8, 64, EngineKind::QLearning).dsp,
+        bram_largest_case: resource_report(262_144, 8, 64, EngineKind::QLearning).bram36,
+        fits_largest_case: false,
+    });
+    Formats { states, rows }
+}
+
+impl Formats {
+    /// Render the sweep table.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.format.clone(),
+                    r.bits.to_string(),
+                    format!("{:.3}", r.optimality),
+                    format!("{:.4}", r.rms_vs_f64),
+                    r.dsp.to_string(),
+                    r.bram_largest_case.to_string(),
+                    r.fits_largest_case.to_string(),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            &format!("Datapath format sweep ({} states, gamma=0.875)", self.states),
+            &["format", "bits", "optimality", "RMS vs f64", "DSP", "BRAM@262144x8", "fits"],
+            &rows,
+        );
+        out.push_str(
+            "note: a format with f fractional bits floors values below 2^-f, capping the
+             learnable radius at ln(2^f)/ln(1/gamma) moves (~41 for Q8.8 at gamma=0.875,
+             ~62 for Q4.12) - which is why Q8.8 collapses on grids whose diameter exceeds
+             its horizon while Q4.12, at the same 16-bit BRAM cost, does not. Range is the
+             price: Q4.12 saturates at +/-8, usable only because |Q| <= 1/(1-gamma) = 8.
+",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_formats_are_more_accurate_and_only_16bit_fits() {
+        let f = run(256, 300_000);
+        let by_name = |n: &str| f.rows.iter().find(|r| r.format == n).unwrap();
+        let q8 = by_name("Q8.8");
+        let q16 = by_name("Q16.16");
+        let q4 = by_name("Q4.12");
+        // Accuracy improves with width.
+        assert!(q16.rms_vs_f64 < q8.rms_vs_f64, "{} vs {}", q16.rms_vs_f64, q8.rms_vs_f64);
+        // All fixed formats learn the policy on this small case.
+        for r in [q4, q8, q16] {
+            assert!(r.optimality > 0.9, "{r:?}");
+        }
+        // The calibration argument: 16-bit fits the largest case, 32-bit
+        // does not.
+        assert!(q8.fits_largest_case);
+        assert!(q4.fits_largest_case);
+        assert!(!q16.fits_largest_case);
+        // DSP cost: 4 at <=18 bits, 16 at 32 bits.
+        assert_eq!(q8.dsp, 4);
+        assert_eq!(q16.dsp, 16);
+    }
+}

@@ -1,0 +1,113 @@
+//! Table rendering and result persistence.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Render an aligned ASCII table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Format a sample rate the way the paper's Table II does (`105.5K`,
+/// `189M`).
+pub fn fmt_rate(samples_per_sec: f64) -> String {
+    if samples_per_sec >= 1e6 {
+        format!("{:.0}M", samples_per_sec / 1e6)
+    } else if samples_per_sec >= 1e3 {
+        format!("{:.1}K", samples_per_sec / 1e3)
+    } else {
+        format!("{samples_per_sec:.0}")
+    }
+}
+
+/// Format a percentage with sensible precision across Fig. 4's 4 decades.
+pub fn fmt_pct(pct: f64) -> String {
+    if pct >= 0.1 {
+        format!("{pct:.2}")
+    } else {
+        format!("{pct:.3}")
+    }
+}
+
+/// Results directory (`results/` under the workspace root, created on
+/// demand).
+pub fn results_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Persist a serializable result as pretty JSON under `results/`.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) -> PathBuf {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize result");
+    fs::write(&path, json).expect("write result JSON");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            "t",
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        // title, header, separator, two data rows.
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[3].contains('1'));
+        assert!(lines[4].starts_with("333"));
+    }
+
+    #[test]
+    fn rate_formatting_matches_paper_style() {
+        assert_eq!(fmt_rate(189e6), "189M");
+        assert_eq!(fmt_rate(105_500.0), "105.5K");
+        assert_eq!(fmt_rate(42.0), "42");
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(fmt_pct(78.125), "78.12");
+        assert_eq!(fmt_pct(0.32), "0.32");
+        assert_eq!(fmt_pct(0.018), "0.018");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        render_table("t", &["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

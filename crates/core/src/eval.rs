@@ -1,0 +1,155 @@
+//! Policy-quality evaluation utilities.
+//!
+//! The paper's quality claim is implicit ("the agent … aims to reach a
+//! goal cell"); these helpers make it checkable: roll a greedy policy out
+//! from random starts, measure success rate and path-length optimality
+//! against BFS ground truth.
+
+use qtaccel_envs::{Action, Environment, State};
+use qtaccel_hdl::rng::RngSource;
+
+/// Outcome of a policy evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalReport {
+    /// Episodes that reached a terminal state within the step cap.
+    pub successes: u32,
+    /// Episodes attempted.
+    pub episodes: u32,
+    /// Mean steps over successful episodes (0 if none).
+    pub mean_steps: f64,
+    /// Mean undiscounted return over all episodes.
+    pub mean_return: f64,
+}
+
+impl EvalReport {
+    /// Fraction of episodes that reached the goal.
+    pub fn success_rate(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.episodes as f64
+        }
+    }
+}
+
+/// Roll out `policy` greedily from `episodes` random starts, capping each
+/// episode at `max_steps`.
+pub fn evaluate_policy<E: Environment>(
+    env: &E,
+    policy: &[Action],
+    episodes: u32,
+    max_steps: u32,
+    rng: &mut dyn RngSource,
+) -> EvalReport {
+    assert_eq!(policy.len(), env.num_states(), "policy length mismatch");
+    let mut successes = 0u32;
+    let mut steps_sum = 0u64;
+    let mut return_sum = 0.0;
+    for _ in 0..episodes {
+        let mut s = env.random_start(rng);
+        let mut ep_return = 0.0;
+        for step in 1..=max_steps {
+            let a = policy[s as usize];
+            ep_return += env.reward(s, a);
+            s = env.transition(s, a);
+            if env.is_terminal(s) {
+                successes += 1;
+                steps_sum += step as u64;
+                break;
+            }
+        }
+        return_sum += ep_return;
+    }
+    EvalReport {
+        successes,
+        episodes,
+        mean_steps: if successes == 0 {
+            0.0
+        } else {
+            steps_sum as f64 / successes as f64
+        },
+        mean_return: return_sum / episodes.max(1) as f64,
+    }
+}
+
+/// Fraction of reachable, non-terminal states whose greedy action is
+/// *step-optimal*: it moves strictly one step closer to the goal
+/// according to the BFS `distances` (as produced by
+/// `GridWorld::shortest_distances`).
+pub fn step_optimality<E: Environment>(
+    env: &E,
+    policy: &[Action],
+    distances: &[Option<u32>],
+) -> f64 {
+    assert_eq!(policy.len(), env.num_states());
+    assert_eq!(distances.len(), env.num_states());
+    let mut optimal = 0u32;
+    let mut total = 0u32;
+    for s in 0..env.num_states() as State {
+        if !env.is_valid_state(s) || env.is_terminal(s) {
+            continue;
+        }
+        let Some(d) = distances[s as usize] else {
+            continue;
+        };
+        total += 1;
+        let next = env.transition(s, policy[s as usize]);
+        if let Some(dn) = distances[next as usize] {
+            if dn + 1 == d {
+                optimal += 1;
+            }
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        optimal as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::q_learning;
+    use qtaccel_envs::GridWorld;
+    use qtaccel_hdl::lfsr::Lfsr32;
+
+    #[test]
+    fn trained_policy_evaluates_well() {
+        let g = GridWorld::builder(4, 4).goal(3, 3).build();
+        let mut t = q_learning::<f64, _>(g.clone(), 1);
+        t.run_samples(100_000);
+        let policy = t.greedy_policy();
+        let mut rng = Lfsr32::new(2);
+        let report = evaluate_policy(&g, &policy, 100, 50, &mut rng);
+        assert_eq!(report.success_rate(), 1.0, "{report:?}");
+        // Optimal mean path on a 4x4 grid from random starts is <= 6.
+        assert!(report.mean_steps <= 6.0, "{report:?}");
+        let opt = step_optimality(&g, &policy, &g.shortest_distances());
+        assert_eq!(opt, 1.0);
+    }
+
+    #[test]
+    fn bad_policy_evaluates_poorly() {
+        let g = GridWorld::builder(4, 4).goal(3, 3).build();
+        // Always move left: only cells already adjacent to nothing reach
+        // the goal; success rate must be 0 (goal is to the right).
+        let policy = vec![0; g.num_states()];
+        let mut rng = Lfsr32::new(3);
+        let report = evaluate_policy(&g, &policy, 50, 30, &mut rng);
+        assert_eq!(report.successes, 0);
+        let opt = step_optimality(&g, &policy, &g.shortest_distances());
+        assert!(opt < 0.5, "left-only cannot be mostly optimal: {opt}");
+        assert!(report.mean_return < 0.0, "wall-bumping is penalized");
+    }
+
+    #[test]
+    fn empty_episode_count() {
+        let g = GridWorld::builder(4, 4).goal(3, 3).build();
+        let policy = vec![0; g.num_states()];
+        let mut rng = Lfsr32::new(4);
+        let report = evaluate_policy(&g, &policy, 0, 10, &mut rng);
+        assert_eq!(report.success_rate(), 0.0);
+        assert_eq!(report.mean_return, 0.0);
+    }
+}

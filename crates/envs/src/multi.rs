@@ -1,0 +1,122 @@
+//! Multi-agent environment configurations (§VII-A).
+//!
+//! The paper's two parallel-pipeline modes need two environment shapes:
+//!
+//! * **State-sharing learners** (Fig. 8) reuse one environment instance —
+//!   both pipelines call the same transition function and share the Q/R
+//!   tables through the dual-port BRAM. No wrapper is needed; the shared
+//!   accelerator takes one `&Environment`.
+//! * **Independent learners** (Fig. 9) each own "a subset of the entire
+//!   state space" — e.g. "launching multiple rovers to explore the
+//!   geomorphological features of a ground surface, each responsible for
+//!   a subset". [`PartitionedGrid`] builds N disjoint grid-world
+//!   sub-environments of one large terrain, one per pipeline/BRAM bank.
+
+use crate::gridworld::{ActionSet, GridWorld};
+use qtaccel_hdl::rng::RngSource;
+
+/// N disjoint sub-environments tiling one large terrain.
+#[derive(Debug, Clone)]
+pub struct PartitionedGrid {
+    subs: Vec<GridWorld>,
+    tiles_x: u32,
+    tiles_y: u32,
+}
+
+impl PartitionedGrid {
+    /// Split a `total_width`×`total_height` terrain into `tiles_x ×
+    /// tiles_y` equal tiles, each a self-contained [`GridWorld`] with its
+    /// own goal placed by `rng` (and optional random obstacles).
+    ///
+    /// # Panics
+    /// If the terrain does not divide evenly into tiles or a tile would be
+    /// smaller than 2×2.
+    pub fn new(
+        total_width: u32,
+        total_height: u32,
+        tiles_x: u32,
+        tiles_y: u32,
+        obstacle_pct: u32,
+        actions: ActionSet,
+        rng: &mut dyn RngSource,
+    ) -> Self {
+        assert!(tiles_x >= 1 && tiles_y >= 1);
+        assert_eq!(total_width % tiles_x, 0, "width must divide into tiles");
+        assert_eq!(total_height % tiles_y, 0, "height must divide into tiles");
+        let w = total_width / tiles_x;
+        let h = total_height / tiles_y;
+        assert!(w >= 2 && h >= 2, "tiles must be at least 2x2");
+        let subs = (0..tiles_x * tiles_y)
+            .map(|_| GridWorld::random(w, h, obstacle_pct, actions, rng))
+            .collect();
+        Self {
+            subs,
+            tiles_x,
+            tiles_y,
+        }
+    }
+
+    /// Number of sub-environments (= pipelines = BRAM banks).
+    pub fn num_partitions(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// The sub-environment for pipeline `i`.
+    pub fn partition(&self, i: usize) -> &GridWorld {
+        &self.subs[i]
+    }
+
+    /// All sub-environments.
+    pub fn partitions(&self) -> &[GridWorld] {
+        &self.subs
+    }
+
+    /// Tiling shape `(tiles_x, tiles_y)`.
+    pub fn shape(&self) -> (u32, u32) {
+        (self.tiles_x, self.tiles_y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Environment;
+    use qtaccel_hdl::lfsr::Lfsr32;
+
+    #[test]
+    fn partitions_tile_the_terrain() {
+        let mut rng = Lfsr32::new(3);
+        let p = PartitionedGrid::new(16, 16, 4, 2, 10, ActionSet::Four, &mut rng);
+        assert_eq!(p.num_partitions(), 8);
+        assert_eq!(p.shape(), (4, 2));
+        for i in 0..8 {
+            let sub = p.partition(i);
+            assert_eq!(sub.width(), 4);
+            assert_eq!(sub.height(), 8);
+            assert!(sub.num_states() >= 32);
+        }
+    }
+
+    #[test]
+    fn partitions_are_independent_worlds() {
+        let mut rng = Lfsr32::new(5);
+        let p = PartitionedGrid::new(8, 8, 2, 2, 0, ActionSet::Four, &mut rng);
+        // With different RNG draws, goals generally differ across tiles.
+        let goals: Vec<_> = p.partitions().iter().map(|g| g.goal_state()).collect();
+        assert_eq!(goals.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into tiles")]
+    fn uneven_tiling_rejected() {
+        let mut rng = Lfsr32::new(1);
+        PartitionedGrid::new(10, 8, 4, 2, 0, ActionSet::Four, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn too_small_tiles_rejected() {
+        let mut rng = Lfsr32::new(1);
+        PartitionedGrid::new(4, 4, 4, 4, 0, ActionSet::Four, &mut rng);
+    }
+}

@@ -1,0 +1,93 @@
+//! Dense reward-table precomputation — the reward BRAM's initial contents.
+//!
+//! §IV-B resource (i): the accelerator stores "the Q values and reward
+//! values for all state-action pairs" in two `|S|·|A|`-sized BRAM tables.
+//! [`RewardTable`] materializes an [`crate::Environment`]'s reward function
+//! into that dense layout, quantized to the datapath format — the software
+//! equivalent of the memory-initialization file the synthesis flow loads.
+
+use crate::env::{sa_index, Environment};
+use qtaccel_fixed::QValue;
+
+/// A dense `|S|·|A|` reward table in datapath format `V`.
+#[derive(Debug, Clone)]
+pub struct RewardTable<V> {
+    values: Vec<V>,
+    num_actions: usize,
+}
+
+impl<V: QValue> RewardTable<V> {
+    /// Materialize the environment's reward function.
+    pub fn from_env<E: Environment>(env: &E) -> Self {
+        let (s, a) = (env.num_states(), env.num_actions());
+        let mut values = Vec::with_capacity(s * a);
+        for state in 0..s as u32 {
+            for action in 0..a as u32 {
+                values.push(V::from_f64(env.reward(state, action)));
+            }
+        }
+        Self {
+            values,
+            num_actions: a,
+        }
+    }
+
+    /// Reward for (s, a).
+    #[inline]
+    pub fn get(&self, s: u32, a: u32) -> V {
+        self.values[sa_index(s, a, self.num_actions)]
+    }
+
+    /// Number of entries (`|S|·|A|`).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the table is empty (it never is for a valid environment).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Raw table in row-major (state-major) order.
+    pub fn as_slice(&self) -> &[V] {
+        &self.values
+    }
+
+    /// Capacity in bits when stored at this format's width.
+    pub fn capacity_bits(&self) -> u64 {
+        self.values.len() as u64 * V::storage_bits() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gridworld::GridWorld;
+    use qtaccel_fixed::Q8_8;
+
+    #[test]
+    fn table_matches_env() {
+        let g = GridWorld::builder(4, 4).goal(3, 3).build();
+        let t = RewardTable::<f64>::from_env(&g);
+        assert_eq!(t.len(), g.num_states() * g.num_actions());
+        for s in 0..g.num_states() as u32 {
+            for a in 0..g.num_actions() as u32 {
+                assert_eq!(t.get(s, a), g.reward(s, a));
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_format_quantizes() {
+        let g = GridWorld::builder(4, 4)
+            .goal(3, 3)
+            .step_reward(-0.01)
+            .build();
+        let t = RewardTable::<Q8_8>::from_env(&g);
+        // -0.01 is not representable in Q8.8; nearest is -3/256 ≈ -0.0117
+        // or -2/256; either way within half an epsilon.
+        let got = t.get(g.state_of(1, 1), 2).to_f64();
+        assert!((got - (-0.01)).abs() <= 0.5 / 256.0 + 1e-12, "{got}");
+        assert_eq!(t.capacity_bits(), t.len() as u64 * 16);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the environments.
+
+use proptest::prelude::*;
+use qtaccel_envs::{ActionSet, CliffWalk, Environment, GridWorld};
+use qtaccel_hdl::lfsr::Lfsr32;
+
+fn arb_grid() -> impl Strategy<Value = GridWorld> {
+    (1u32..10_000, 0u32..25, any::<bool>()).prop_map(|(seed, density, eight)| {
+        let mut rng = Lfsr32::new(seed);
+        let actions = if eight {
+            ActionSet::Eight
+        } else {
+            ActionSet::Four
+        };
+        GridWorld::random(8, 8, density, actions, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transitions_stay_in_valid_states(g in arb_grid()) {
+        for s in 0..g.num_states() as u32 {
+            for a in 0..g.num_actions() as u32 {
+                let t = g.transition(s, a);
+                prop_assert!((t as usize) < g.num_states());
+                if g.is_valid_state(s) {
+                    // Valid states never transition into obstacles or
+                    // off-grid filler.
+                    prop_assert!(g.is_valid_state(t), "s={s} a={a} -> t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_states_self_loop_with_zero_reward(g in arb_grid()) {
+        for s in 0..g.num_states() as u32 {
+            if !g.is_valid_state(s) {
+                for a in 0..g.num_actions() as u32 {
+                    prop_assert_eq!(g.transition(s, a), s);
+                    prop_assert_eq!(g.reward(s, a), 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rewards_are_bounded(g in arb_grid()) {
+        for s in 0..g.num_states() as u32 {
+            for a in 0..g.num_actions() as u32 {
+                let r = g.reward(s, a);
+                prop_assert!((-1.0..=1.0).contains(&r), "r={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn xy_roundtrip(g in arb_grid()) {
+        for x in 0..g.width() {
+            for y in 0..g.height() {
+                prop_assert_eq!(g.xy_of(g.state_of(x, y)), (x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_are_consistent(g in arb_grid()) {
+        // Triangle property: a one-step transition changes the BFS
+        // distance by at most 1 (and reaching the goal means d = 1).
+        let d = g.shortest_distances();
+        for s in 0..g.num_states() as u32 {
+            if !g.is_valid_state(s) || g.is_terminal(s) {
+                continue;
+            }
+            let Some(ds) = d[s as usize] else { continue };
+            prop_assert!(ds >= 1);
+            for a in 0..g.num_actions() as u32 {
+                let t = g.transition(s, a);
+                if let Some(dt) = d[t as usize] {
+                    prop_assert!(dt + 1 >= ds, "s={s} (d={ds}) -> t={t} (d={dt})");
+                }
+            }
+            // Some action must decrease the distance (BFS predecessor).
+            let improves = (0..g.num_actions() as u32).any(|a| {
+                let t = g.transition(s, a);
+                d[t as usize].map(|dt| dt + 1 == ds).unwrap_or(false)
+            });
+            prop_assert!(improves, "state {s} has no improving action");
+        }
+    }
+
+    #[test]
+    fn goal_distance_zero_only_at_goal(g in arb_grid()) {
+        let d = g.shortest_distances();
+        for s in 0..g.num_states() as u32 {
+            if d[s as usize] == Some(0) {
+                prop_assert!(g.is_terminal(s));
+            }
+        }
+    }
+
+    #[test]
+    fn random_start_is_always_valid(g in arb_grid(), seed in 1u32..10_000) {
+        let mut rng = Lfsr32::new(seed);
+        for _ in 0..32 {
+            let s = g.random_start(&mut rng);
+            prop_assert!(g.is_valid_state(s));
+            prop_assert!(!g.is_terminal(s));
+        }
+    }
+
+    #[test]
+    fn cliff_walk_invariants(w in 3u32..16, h in 2u32..8) {
+        let c = CliffWalk::new(w, h);
+        // The start and goal are valid, every cliff cell is invalid.
+        prop_assert!(c.is_valid_state(c.start_state()));
+        prop_assert!(c.is_valid_state(c.goal_state()));
+        for s in 0..c.num_states() as u32 {
+            if c.is_cliff(s) {
+                prop_assert!(!c.is_valid_state(s));
+            }
+            // All transitions land in-range.
+            for a in 0..4 {
+                prop_assert!((c.transition(s, a) as usize) < c.num_states());
+            }
+        }
+        // Falling costs the cliff penalty and teleports to start.
+        let above = c.transition(c.start_state(), 1); // up from start
+        if c.is_valid_state(above) && h >= 2 && w > 2 {
+            let back_down = c.transition(above, 3);
+            prop_assert_eq!(back_down, c.start_state());
+        }
+    }
+}

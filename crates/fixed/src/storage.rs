@@ -1,0 +1,230 @@
+//! Storage integers usable as the backing word of a [`crate::Fixed`] value.
+
+use core::fmt::Debug;
+use core::hash::Hash;
+
+/// A signed two's complement integer that can back a fixed-point value.
+///
+/// The associated [`Storage::Wide`] type must hold the full product of two
+/// storage words — exactly what a DSP slice produces before the writeback
+/// path narrows it again.
+pub trait Storage:
+    Copy + Clone + Debug + Eq + Ord + Hash + Send + Sync + Default + 'static
+{
+    /// Double-width type holding a full product.
+    type Wide: Copy + Clone + Debug + Eq + Ord;
+
+    /// Bit width of the storage word (the BRAM entry width).
+    const BITS: u32;
+    /// All-zeros word.
+    const ZERO: Self;
+    /// Most positive representable word.
+    const MAX: Self;
+    /// Most negative representable word.
+    const MIN: Self;
+
+    /// Widen to the product type.
+    fn widen(self) -> Self::Wide;
+    /// Narrow from the product type, saturating at the storage range.
+    fn saturate_from_wide(wide: Self::Wide) -> Self;
+    /// Saturating addition.
+    fn sat_add(self, other: Self) -> Self;
+    /// Saturating subtraction.
+    fn sat_sub(self, other: Self) -> Self;
+    /// Saturating negation (`MIN` maps to `MAX`).
+    fn sat_neg(self) -> Self;
+    /// Full-width product of two storage words.
+    fn wide_mul(self, other: Self) -> Self::Wide;
+    /// Arithmetic shift right of the wide product with
+    /// round-half-away-from-zero, as the DSP writeback path performs.
+    fn wide_shr_round(wide: Self::Wide, shift: u32) -> Self::Wide;
+    /// Wide left shift (for division / rescaling paths).
+    fn wide_shl(wide: Self::Wide, shift: u32) -> Self::Wide;
+    /// Checked wide division (`None` on divide-by-zero).
+    fn wide_div(a: Self::Wide, b: Self::Wide) -> Option<Self::Wide>;
+    /// Lossless conversion to `f64` (exact for every representable word).
+    fn to_f64(self) -> f64;
+    /// Convert from `f64`, rounding to nearest and saturating.
+    fn from_f64_saturating(x: f64) -> Self;
+    /// Raw bits as `i64` (for display/serialization).
+    fn to_i64(self) -> i64;
+    /// Construct from `i64`, saturating.
+    fn from_i64_saturating(x: i64) -> Self;
+}
+
+macro_rules! impl_storage {
+    ($ty:ty, $wide:ty, $bits:expr) => {
+        impl Storage for $ty {
+            type Wide = $wide;
+
+            const BITS: u32 = $bits;
+            const ZERO: Self = 0;
+            const MAX: Self = <$ty>::MAX;
+            const MIN: Self = <$ty>::MIN;
+
+            #[inline]
+            fn widen(self) -> $wide {
+                self as $wide
+            }
+
+            #[inline]
+            fn saturate_from_wide(wide: $wide) -> Self {
+                if wide > <$ty>::MAX as $wide {
+                    <$ty>::MAX
+                } else if wide < <$ty>::MIN as $wide {
+                    <$ty>::MIN
+                } else {
+                    wide as $ty
+                }
+            }
+
+            #[inline]
+            fn sat_add(self, other: Self) -> Self {
+                self.saturating_add(other)
+            }
+
+            #[inline]
+            fn sat_sub(self, other: Self) -> Self {
+                self.saturating_sub(other)
+            }
+
+            #[inline]
+            fn sat_neg(self) -> Self {
+                self.checked_neg().unwrap_or(<$ty>::MAX)
+            }
+
+            #[inline]
+            fn wide_mul(self, other: Self) -> $wide {
+                (self as $wide) * (other as $wide)
+            }
+
+            #[inline]
+            fn wide_shr_round(wide: $wide, shift: u32) -> $wide {
+                if shift == 0 {
+                    return wide;
+                }
+                let half: $wide = 1 << (shift - 1);
+                // Round half away from zero: shift the magnitude with a
+                // half-bias, then restore the sign. The saturating ops keep
+                // the extremes well-defined; they are unreachable for
+                // realistic formats because the product of two in-range
+                // words leaves headroom in the wide type.
+                if wide >= 0 {
+                    wide.saturating_add(half) >> shift
+                } else {
+                    let mag = wide.checked_neg().unwrap_or(<$wide>::MAX);
+                    -(mag.saturating_add(half) >> shift)
+                }
+            }
+
+            #[inline]
+            fn wide_shl(wide: $wide, shift: u32) -> $wide {
+                wide.checked_shl(shift).unwrap_or(if wide >= 0 {
+                    <$wide>::MAX
+                } else {
+                    <$wide>::MIN
+                })
+            }
+
+            #[inline]
+            fn wide_div(a: $wide, b: $wide) -> Option<$wide> {
+                a.checked_div(b)
+            }
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+
+            #[inline]
+            fn from_f64_saturating(x: f64) -> Self {
+                if x.is_nan() {
+                    return 0;
+                }
+                let r = x.round_ties_even();
+                if r >= <$ty>::MAX as f64 {
+                    <$ty>::MAX
+                } else if r <= <$ty>::MIN as f64 {
+                    <$ty>::MIN
+                } else {
+                    r as $ty
+                }
+            }
+
+            #[inline]
+            fn to_i64(self) -> i64 {
+                self as i64
+            }
+
+            #[inline]
+            fn from_i64_saturating(x: i64) -> Self {
+                if x > <$ty>::MAX as i64 {
+                    <$ty>::MAX
+                } else if x < <$ty>::MIN as i64 {
+                    <$ty>::MIN
+                } else {
+                    x as $ty
+                }
+            }
+        }
+    };
+}
+
+impl_storage!(i16, i32, 16);
+impl_storage!(i32, i64, 32);
+impl_storage!(i64, i128, 64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_types() {
+        assert_eq!(<i16 as Storage>::BITS, 16);
+        assert_eq!(<i32 as Storage>::BITS, 32);
+        assert_eq!(<i64 as Storage>::BITS, 64);
+    }
+
+    #[test]
+    fn saturate_from_wide_clamps_both_ends() {
+        assert_eq!(<i16 as Storage>::saturate_from_wide(40_000), i16::MAX);
+        assert_eq!(<i16 as Storage>::saturate_from_wide(-40_000), i16::MIN);
+        assert_eq!(<i16 as Storage>::saturate_from_wide(123), 123);
+    }
+
+    #[test]
+    fn sat_neg_of_min_is_max() {
+        assert_eq!(<i16 as Storage>::sat_neg(i16::MIN), i16::MAX);
+        assert_eq!(<i32 as Storage>::sat_neg(i32::MIN), i32::MAX);
+        assert_eq!(<i16 as Storage>::sat_neg(5), -5);
+    }
+
+    #[test]
+    fn wide_shr_round_rounds_half_away_from_zero() {
+        // 3 >> 1 with rounding: 1.5 -> 2
+        assert_eq!(<i16 as Storage>::wide_shr_round(3, 1), 2);
+        // -3 >> 1 with rounding: -1.5 -> -2
+        assert_eq!(<i16 as Storage>::wide_shr_round(-3, 1), -2);
+        // 5 >> 2: 1.25 -> 1
+        assert_eq!(<i16 as Storage>::wide_shr_round(5, 2), 1);
+        // -5 >> 2: -1.25 -> -1
+        assert_eq!(<i16 as Storage>::wide_shr_round(-5, 2), -1);
+        // shift 0 is identity
+        assert_eq!(<i16 as Storage>::wide_shr_round(-5, 0), -5);
+    }
+
+    #[test]
+    fn from_f64_rounds_and_saturates() {
+        assert_eq!(<i16 as Storage>::from_f64_saturating(1.5), 2);
+        assert_eq!(<i16 as Storage>::from_f64_saturating(2.5), 2); // ties even
+        assert_eq!(<i16 as Storage>::from_f64_saturating(1e9), i16::MAX);
+        assert_eq!(<i16 as Storage>::from_f64_saturating(-1e9), i16::MIN);
+        assert_eq!(<i16 as Storage>::from_f64_saturating(f64::NAN), 0);
+    }
+
+    #[test]
+    fn wide_div_rejects_zero() {
+        assert_eq!(<i32 as Storage>::wide_div(10, 0), None);
+        assert_eq!(<i32 as Storage>::wide_div(10, 3), Some(3));
+    }
+}

@@ -1,0 +1,276 @@
+//! The [`QValue`] abstraction over datapath number formats.
+
+use crate::{Fixed, Storage};
+
+/// A numeric type usable as a Q-value in tables, trainers and the
+/// accelerator model.
+///
+/// Implemented for `f32`/`f64` (software reference arithmetic) and for
+/// every [`Fixed`] format (hardware datapath arithmetic). The operations
+/// mirror exactly what the QTAccel pipeline computes: the multiply-add of
+/// Eq. (3) of the paper decomposes into `mul` and `add` calls on this
+/// trait, so a trainer written against `QValue` is bit-exact with the
+/// hardware when instantiated at a `Fixed` format.
+pub trait QValue:
+    Copy
+    + Clone
+    + PartialEq
+    + PartialOrd
+    + core::fmt::Debug
+    + core::fmt::Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Convert from `f64` (saturating for fixed formats).
+    fn from_f64(x: f64) -> Self;
+    /// Convert to `f64`.
+    fn to_f64(self) -> f64;
+    /// Datapath addition (saturating for fixed formats).
+    fn add(self, other: Self) -> Self;
+    /// Datapath subtraction.
+    fn sub(self, other: Self) -> Self;
+    /// Datapath multiplication (one DSP slice for fixed formats).
+    fn mul(self, other: Self) -> Self;
+    /// `1 - self` (derived in pipeline stage 1 from the learning rate).
+    fn one_minus(self) -> Self;
+    /// Comparator: the larger value (drives the Qmax table update).
+    fn vmax(self, other: Self) -> Self;
+    /// Total-order comparison. For floats, NaN sorts below everything,
+    /// matching a hardware comparator that never sees NaN.
+    fn vcmp(self, other: Self) -> core::cmp::Ordering;
+    /// Storage width in bits — determines the BRAM entry width. For floats
+    /// this is the IEEE width (only meaningful for reference runs).
+    fn storage_bits() -> u32;
+    /// Human-readable format name for reports (e.g. `"Q8.8"`, `"f64"`).
+    fn format_name() -> String;
+    /// Flip one bit of the stored word (`bit < storage_bits()`): the
+    /// single-event-upset model for the BRAM soft-error experiments.
+    fn flip_bit(self, bit: u32) -> Self;
+}
+
+macro_rules! impl_qvalue_float {
+    ($ty:ty, $bits:expr, $name:expr) => {
+        impl QValue for $ty {
+            #[inline]
+            fn zero() -> Self {
+                0.0
+            }
+            #[inline]
+            fn one() -> Self {
+                1.0
+            }
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $ty
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn add(self, other: Self) -> Self {
+                self + other
+            }
+            #[inline]
+            fn sub(self, other: Self) -> Self {
+                self - other
+            }
+            #[inline]
+            fn mul(self, other: Self) -> Self {
+                self * other
+            }
+            #[inline]
+            fn one_minus(self) -> Self {
+                1.0 - self
+            }
+            #[inline]
+            fn vmax(self, other: Self) -> Self {
+                if other > self {
+                    other
+                } else {
+                    self
+                }
+            }
+            #[inline]
+            fn vcmp(self, other: Self) -> core::cmp::Ordering {
+                self.partial_cmp(&other)
+                    .unwrap_or(core::cmp::Ordering::Less)
+            }
+            #[inline]
+            fn storage_bits() -> u32 {
+                $bits
+            }
+            fn format_name() -> String {
+                $name.to_string()
+            }
+            #[inline]
+            fn flip_bit(self, bit: u32) -> Self {
+                debug_assert!(bit < $bits);
+                <$ty>::from_bits(self.to_bits() ^ (1 << bit))
+            }
+        }
+    };
+}
+
+impl_qvalue_float!(f32, 32, "f32");
+impl_qvalue_float!(f64, 64, "f64");
+
+impl<S: Storage, const FRAC: u32> QValue for Fixed<S, FRAC> {
+    #[inline]
+    fn zero() -> Self {
+        Fixed::zero()
+    }
+    #[inline]
+    fn one() -> Self {
+        Fixed::one()
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Fixed::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        Fixed::to_f64(self)
+    }
+    #[inline]
+    fn add(self, other: Self) -> Self {
+        self.sat_add(other)
+    }
+    #[inline]
+    fn sub(self, other: Self) -> Self {
+        self.sat_sub(other)
+    }
+    #[inline]
+    fn mul(self, other: Self) -> Self {
+        self.sat_mul(other)
+    }
+    #[inline]
+    fn one_minus(self) -> Self {
+        Fixed::one_minus(self)
+    }
+    #[inline]
+    fn vmax(self, other: Self) -> Self {
+        Fixed::max(self, other)
+    }
+    #[inline]
+    fn vcmp(self, other: Self) -> core::cmp::Ordering {
+        Ord::cmp(&self, &other)
+    }
+    #[inline]
+    fn storage_bits() -> u32 {
+        S::BITS
+    }
+    fn format_name() -> String {
+        format!("Q{}.{}", S::BITS - FRAC, FRAC)
+    }
+    #[inline]
+    fn flip_bit(self, bit: u32) -> Self {
+        debug_assert!(bit < S::BITS);
+        let raw = self.raw().to_i64() ^ (1i64 << bit);
+        // Width-masked reinterpretation: sign-extend from the storage
+        // width (from_i64_saturating would clamp instead of wrapping,
+        // which is not what a flipped memory word does).
+        let shift = 64 - S::BITS;
+        Fixed::from_raw(S::from_i64_saturating((raw << shift) >> shift))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Q16_16, Q8_8};
+
+    /// The Eq. (3) update written once against QValue.
+    fn update<V: QValue>(q: V, r: V, qn: V, alpha: V, gamma: V) -> V {
+        let t1 = alpha.one_minus().mul(q);
+        let t2 = alpha.mul(r);
+        let t3 = alpha.mul(gamma).mul(qn);
+        t1.add(t2).add(t3)
+    }
+
+    #[test]
+    fn update_formula_consistent_across_formats() {
+        let (q, r, qn, a, g) = (1.25, 2.0, 3.5, 0.25, 0.875);
+        let f = update(q, r, qn, a, g);
+        let x16 = update(
+            Q16_16::from_f64(q),
+            Q16_16::from_f64(r),
+            Q16_16::from_f64(qn),
+            Q16_16::from_f64(a),
+            Q16_16::from_f64(g),
+        )
+        .to_f64();
+        let x8 = update(
+            Q8_8::from_f64(q),
+            Q8_8::from_f64(r),
+            Q8_8::from_f64(qn),
+            Q8_8::from_f64(a),
+            Q8_8::from_f64(g),
+        )
+        .to_f64();
+        assert!((f - x16).abs() < 1e-3, "Q16.16 {x16} vs f64 {f}");
+        assert!((f - x8).abs() < 3.0 / 256.0, "Q8.8 {x8} vs f64 {f}");
+    }
+
+    #[test]
+    fn vmax_and_vcmp_agree() {
+        let a = Q8_8::from_f64(1.0);
+        let b = Q8_8::from_f64(2.0);
+        assert_eq!(a.vmax(b), b);
+        assert_eq!(a.vcmp(b), core::cmp::Ordering::Less);
+        assert_eq!(2.0f64.vmax(1.0), 2.0);
+    }
+
+    #[test]
+    fn nan_sorts_below() {
+        assert_eq!(f64::NAN.vcmp(0.0), core::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn format_names() {
+        assert_eq!(Q8_8::format_name(), "Q8.8");
+        assert_eq!(Q16_16::format_name(), "Q16.16");
+        assert_eq!(<f64 as QValue>::format_name(), "f64");
+    }
+
+    #[test]
+    fn storage_bits_drive_bram_width() {
+        assert_eq!(Q8_8::storage_bits(), 16);
+        assert_eq!(Q16_16::storage_bits(), 32);
+    }
+
+    #[test]
+    fn flip_bit_is_involutive() {
+        let x = Q8_8::from_f64(1.5);
+        for bit in 0..16 {
+            assert_eq!(x.flip_bit(bit).flip_bit(bit), x, "bit {bit}");
+            if bit > 0 {
+                assert_ne!(x.flip_bit(bit), x);
+            }
+        }
+        let f = 1.5f64;
+        assert_eq!(f.flip_bit(52).flip_bit(52), f);
+    }
+
+    #[test]
+    fn flip_of_low_bit_changes_by_epsilon() {
+        let x = Q8_8::from_f64(2.0);
+        let y = x.flip_bit(0);
+        assert!((y.to_f64() - 2.0).abs() <= 1.0 / 256.0 + 1e-12);
+    }
+
+    #[test]
+    fn flip_of_sign_bit_negates_scale() {
+        // Flipping the MSB of a small positive two's complement word
+        // produces a large negative value — the worst-case SEU.
+        let x = Q8_8::from_f64(0.5);
+        let y = x.flip_bit(15);
+        assert!(y.to_f64() < -100.0, "{}", y.to_f64());
+    }
+}

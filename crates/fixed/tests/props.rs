@@ -1,0 +1,129 @@
+//! Property-based tests for the fixed-point substrate.
+
+use proptest::prelude::*;
+use qtaccel_fixed::{QValue, Q16_16, Q8_8};
+
+/// Largest magnitude we exercise for Q8.8 so products stay in range.
+const Q8_RANGE: f64 = 10.0;
+/// Resolution of Q8.8.
+const Q8_EPS: f64 = 1.0 / 256.0;
+
+fn q8(x: f64) -> Q8_8 {
+    Q8_8::from_f64(x)
+}
+
+proptest! {
+    #[test]
+    fn roundtrip_error_bounded(x in -120.0f64..120.0) {
+        let err = (q8(x).to_f64() - x).abs();
+        prop_assert!(err <= Q8_EPS / 2.0 + 1e-12, "err {err}");
+    }
+
+    #[test]
+    fn add_matches_f64(a in -Q8_RANGE..Q8_RANGE, b in -Q8_RANGE..Q8_RANGE) {
+        let got = (q8(a) + q8(b)).to_f64();
+        let want = q8(a).to_f64() + q8(b).to_f64();
+        // Both operands in range: the sum is exact in fixed point.
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn add_commutes(a in -Q8_RANGE..Q8_RANGE, b in -Q8_RANGE..Q8_RANGE) {
+        prop_assert_eq!(q8(a) + q8(b), q8(b) + q8(a));
+    }
+
+    #[test]
+    fn add_associates_in_range(
+        a in -Q8_RANGE..Q8_RANGE,
+        b in -Q8_RANGE..Q8_RANGE,
+        c in -Q8_RANGE..Q8_RANGE,
+    ) {
+        // Saturation cannot trigger for |a|+|b|+|c| <= 30 < 128, so
+        // fixed-point addition is genuinely associative here.
+        prop_assert_eq!((q8(a) + q8(b)) + q8(c), q8(a) + (q8(b) + q8(c)));
+    }
+
+    #[test]
+    fn mul_error_bounded(a in -Q8_RANGE..Q8_RANGE, b in -Q8_RANGE..Q8_RANGE) {
+        let got = (q8(a) * q8(b)).to_f64();
+        let want = q8(a).to_f64() * q8(b).to_f64();
+        // One rounding step of at most eps/2.
+        prop_assert!((got - want).abs() <= Q8_EPS / 2.0 + 1e-12,
+            "a={a} b={b} got={got} want={want}");
+    }
+
+    #[test]
+    fn mul_commutes(a in -Q8_RANGE..Q8_RANGE, b in -Q8_RANGE..Q8_RANGE) {
+        prop_assert_eq!(q8(a) * q8(b), q8(b) * q8(a));
+    }
+
+    #[test]
+    fn mul_by_one_is_identity(a in -120.0f64..120.0) {
+        prop_assert_eq!(q8(a) * Q8_8::one(), q8(a));
+    }
+
+    #[test]
+    fn mul_by_zero_is_zero(a in -120.0f64..120.0) {
+        prop_assert_eq!(q8(a) * Q8_8::zero(), Q8_8::zero());
+    }
+
+    #[test]
+    fn neg_is_involutive_in_range(a in -120.0f64..120.0) {
+        prop_assert_eq!(-(-q8(a)), q8(a));
+    }
+
+    #[test]
+    fn ordering_matches_f64(a in -120.0f64..120.0, b in -120.0f64..120.0) {
+        let fa = q8(a).to_f64();
+        let fb = q8(b).to_f64();
+        prop_assert_eq!(q8(a) < q8(b), fa < fb);
+        prop_assert_eq!(q8(a).max(q8(b)).to_f64(), fa.max(fb));
+    }
+
+    #[test]
+    fn saturation_is_monotone(a in prop::num::f64::NORMAL) {
+        // from_f64 is monotone even across the saturating region.
+        let x = q8(a);
+        let y = q8(a.abs() + 1.0);
+        prop_assert!(x <= y);
+    }
+
+    #[test]
+    fn q16_update_close_to_f64(
+        q in -100.0f64..100.0,
+        r in -100.0f64..100.0,
+        qn in -100.0f64..100.0,
+        alpha in 0.0f64..1.0,
+        gamma in 0.0f64..1.0,
+    ) {
+        // The full Eq. (3) update in Q16.16 tracks the f64 result within a
+        // few rounding steps.
+        let f = (1.0 - alpha) * q + alpha * r + alpha * gamma * qn;
+        let fx = {
+            let (q, r, qn, a, g) = (
+                Q16_16::from_f64(q),
+                Q16_16::from_f64(r),
+                Q16_16::from_f64(qn),
+                Q16_16::from_f64(alpha),
+                Q16_16::from_f64(gamma),
+            );
+            a.one_minus().mul(q).add(a.mul(r)).add(a.mul(g).mul(qn)).to_f64()
+        };
+        prop_assert!((f - fx).abs() < 0.01, "f64={f} fixed={fx}");
+    }
+
+    #[test]
+    fn one_minus_involution(alpha in 0.0f64..1.0) {
+        let a = Q16_16::from_f64(alpha);
+        prop_assert_eq!(a.one_minus().one_minus(), a);
+    }
+
+    #[test]
+    fn div_inverts_mul_for_nice_values(a in 1.0f64..50.0, b in 1.0f64..50.0) {
+        let fa = Q16_16::from_f64(a);
+        let fb = Q16_16::from_f64(b);
+        let q = (fa * fb).checked_div(fb).unwrap();
+        prop_assert!((q.to_f64() - fa.to_f64()).abs() < 0.01,
+            "a={a} b={b} q={}", q.to_f64());
+    }
+}

@@ -1,0 +1,180 @@
+//! Quantized exponential lookup table — the fabric realization of
+//! Boltzmann weights.
+//!
+//! The probability-table policies of §VII-B need `w = exp(Q/T)` per
+//! update (EXP3's "Q value of the action is an exponential function of
+//! the average reward", and Boltzmann's `P(a) ∝ exp(Q/T)`). FPGAs do not
+//! exponentiate; they index a precomputed block-ROM table with the top
+//! bits of the operand. [`ExpLut`] models exactly that: `2^addr_bits`
+//! entries, each holding the function value for the midpoint of its
+//! input bucket, evaluated in one cycle.
+//!
+//! The model exposes the two quantization errors a designer must budget:
+//! input bucketing (the operand's low bits are dropped) and output
+//! rounding (the stored word has finite fraction bits). The tests bound
+//! both against `f64::exp`.
+
+/// A block-ROM exponential table over a bounded input range.
+#[derive(Debug, Clone)]
+pub struct ExpLut {
+    table: Vec<f64>,
+    lo: f64,
+    hi: f64,
+    temperature: f64,
+    addr_bits: u32,
+    out_frac_bits: u32,
+}
+
+impl ExpLut {
+    /// Build a table for `exp(x / temperature)` with `x ∈ [lo, hi]`,
+    /// `2^addr_bits` entries, outputs rounded to `out_frac_bits`
+    /// fractional bits (the weight BRAM's word format).
+    ///
+    /// # Panics
+    /// On an empty range, non-positive temperature, or a table that would
+    /// not fit a realistic ROM (`addr_bits > 16`).
+    pub fn new(lo: f64, hi: f64, temperature: f64, addr_bits: u32, out_frac_bits: u32) -> Self {
+        assert!(hi > lo, "empty input range");
+        assert!(temperature > 0.0, "temperature must be > 0");
+        assert!(
+            (1..=16).contains(&addr_bits),
+            "ROM address width out of range"
+        );
+        assert!(out_frac_bits <= 32, "output fraction too wide");
+        let n = 1usize << addr_bits;
+        let scale = (1u64 << out_frac_bits) as f64;
+        let step = (hi - lo) / n as f64;
+        let table = (0..n)
+            .map(|i| {
+                // Midpoint rule per bucket, then output quantization.
+                let x = lo + (i as f64 + 0.5) * step;
+                ((x / temperature).exp() * scale).round() / scale
+            })
+            .collect();
+        Self {
+            table,
+            lo,
+            hi,
+            temperature,
+            addr_bits,
+            out_frac_bits,
+        }
+    }
+
+    /// One-cycle lookup: clamp to the covered range, index by the top
+    /// bits of the operand.
+    pub fn eval(&self, x: f64) -> f64 {
+        let n = self.table.len();
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let idx = ((t * n as f64) as usize).min(n - 1);
+        self.table[idx]
+    }
+
+    /// Number of table entries (`2^addr_bits`).
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Address width.
+    pub fn addr_bits(&self) -> u32 {
+        self.addr_bits
+    }
+
+    /// Input bucket width.
+    pub fn bucket_width(&self) -> f64 {
+        (self.hi - self.lo) / self.table.len() as f64
+    }
+
+    /// ROM capacity in bits (entries × output word width, sized by the
+    /// largest stored output).
+    pub fn rom_bits(&self) -> u64 {
+        let max_out = self.table.iter().cloned().fold(0.0f64, f64::max);
+        let int_bits = max_out.max(1.0).log2().ceil() as u64 + 1;
+        self.table.len() as u64 * (int_bits + self.out_frac_bits as u64)
+    }
+
+    /// Worst-case relative error against `f64::exp` over the covered
+    /// range (dense sampling).
+    pub fn max_relative_error(&self) -> f64 {
+        let samples = 4 * self.table.len();
+        let mut worst = 0.0f64;
+        for i in 0..=samples {
+            let x = self.lo + (self.hi - self.lo) * i as f64 / samples as f64;
+            let exact = (x / self.temperature).exp();
+            let got = self.eval(x);
+            if exact > 0.0 {
+                worst = worst.max((got - exact).abs() / exact);
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_tracks_exp() {
+        let lut = ExpLut::new(-1.0, 1.0, 0.5, 10, 16);
+        for &x in &[-1.0, -0.3, 0.0, 0.42, 0.999] {
+            let exact = (x / 0.5f64).exp();
+            let got = lut.eval(x);
+            assert!(
+                (got - exact).abs() / exact < 0.01,
+                "x={x}: {got} vs {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_address_width() {
+        let coarse = ExpLut::new(-1.0, 1.0, 0.5, 6, 16).max_relative_error();
+        let fine = ExpLut::new(-1.0, 1.0, 0.5, 12, 16).max_relative_error();
+        assert!(fine < coarse / 10.0, "coarse {coarse}, fine {fine}");
+        // A 12-bit table is accurate to a tenth of a percent.
+        assert!(fine < 1e-3, "{fine}");
+    }
+
+    #[test]
+    fn out_of_range_inputs_clamp() {
+        let lut = ExpLut::new(0.0, 1.0, 1.0, 8, 16);
+        assert_eq!(lut.eval(-5.0), lut.eval(0.0));
+        assert_eq!(lut.eval(42.0), lut.eval(1.0));
+    }
+
+    #[test]
+    fn rom_cost_accounting() {
+        // 2^10 entries of (int+frac) bits: a Boltzmann table over Q8.8's
+        // range at T=0.5 peaks at exp(2) ~ 7.4 -> 4 int bits + 16 frac.
+        let lut = ExpLut::new(-1.0, 1.0, 0.5, 10, 16);
+        assert_eq!(lut.entries(), 1024);
+        assert_eq!(lut.rom_bits(), 1024 * 20);
+        // One 36Kb BRAM holds it comfortably.
+        assert!(lut.rom_bits() < 36 * 1024);
+    }
+
+    #[test]
+    fn output_quantization_is_visible_at_low_frac_bits() {
+        let rough = ExpLut::new(0.0, 1.0, 1.0, 12, 2); // quarter steps
+        let fine = ExpLut::new(0.0, 1.0, 1.0, 12, 16);
+        assert!(rough.max_relative_error() > fine.max_relative_error());
+        // Every rough output is a multiple of 0.25.
+        for i in 0..16 {
+            let v = rough.eval(i as f64 / 16.0);
+            assert!((v * 4.0 - (v * 4.0).round()).abs() < 1e-12, "{v}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be > 0")]
+    fn rejects_bad_temperature() {
+        ExpLut::new(0.0, 1.0, 0.0, 8, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty input range")]
+    fn rejects_empty_range() {
+        ExpLut::new(1.0, 1.0, 1.0, 8, 16);
+    }
+}

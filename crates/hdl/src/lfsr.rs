@@ -1,0 +1,374 @@
+//! Linear feedback shift registers — the accelerator's random sources.
+//!
+//! The paper uses LFSRs for every stochastic decision in the fabric: random
+//! start-state selection, random action selection (Q-Learning behaviour
+//! policy), the ε-greedy coin flip and uniform action index (SARSA), and —
+//! for the MAB extension of §VII-B — normally distributed rewards obtained
+//! by summing uniform LFSR outputs ("uniform random numbers can be
+//! generated using linear feedback shift registers whose output can be
+//! summed up to obtain the normal distribution").
+//!
+//! These are Galois-form LFSRs with maximal-length taps, so a width-`n`
+//! register cycles through all `2^n − 1` nonzero states. The models are
+//! bit-exact: the same seed produces the same stream in the pipeline
+//! simulator and in the software golden reference.
+
+use crate::rng::RngSource;
+
+/// 16-bit Galois LFSR, taps `x^16 + x^14 + x^13 + x^11 + 1` (0xB400).
+///
+/// Period `2^16 − 1`. This is the cheapest generator: 16 flip-flops and a
+/// couple of XOR gates, the register cost quoted for SARSA in §VI-C2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr16 {
+    state: u16,
+}
+
+/// 32-bit Galois LFSR, taps `x^32 + x^22 + x^2 + x^1 + 1` (0x80200003).
+///
+/// Period `2^32 − 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr32 {
+    state: u32,
+}
+
+/// 64-bit Galois LFSR, taps `x^64 + x^63 + x^61 + x^60 + 1` (0xD800000000000000).
+///
+/// Period `2^64 − 1`. Used where a simulation must not wrap within a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lfsr64 {
+    state: u64,
+}
+
+macro_rules! impl_lfsr {
+    ($name:ident, $ty:ty, $mask:expr, $bits:expr) => {
+        impl $name {
+            /// Feedback tap mask (Galois form).
+            pub const TAPS: $ty = $mask;
+            /// Register width in bits.
+            pub const BITS: u32 = $bits;
+            /// Full period of the maximal-length sequence.
+            pub const PERIOD: u64 = ((1u128 << $bits) - 1) as u64;
+
+            /// Create from a seed. A zero seed is the one forbidden LFSR
+            /// state (the register would lock up); it is remapped to 1,
+            /// exactly as a hardware reset value would be chosen.
+            #[inline]
+            pub fn new(seed: $ty) -> Self {
+                Self {
+                    state: if seed == 0 { 1 } else { seed },
+                }
+            }
+
+            /// Advance one shift and return the new register state.
+            #[inline]
+            pub fn step(&mut self) -> $ty {
+                let lsb = self.state & 1;
+                self.state >>= 1;
+                if lsb != 0 {
+                    self.state ^= Self::TAPS;
+                }
+                self.state
+            }
+
+            /// Current register state without advancing.
+            #[inline]
+            pub fn peek(&self) -> $ty {
+                self.state
+            }
+        }
+    };
+}
+
+impl_lfsr!(Lfsr16, u16, 0xB400, 16);
+impl_lfsr!(Lfsr32, u32, 0x8020_0003, 32);
+impl_lfsr!(Lfsr64, u64, 0xD800_0000_0000_0000, 64);
+
+// Word-wide sampling leaps the register a full word width per draw.
+// Consecutive bit-serial LFSR states are shifts of each other, so sampling
+// a multi-bit field from single-stepped states would produce samples whose
+// bits are deterministically correlated across draws (the low bit of draw
+// t+1 equals a high bit of draw t). Hardware solves this with a
+// "leap-forward" LFSR — an XOR network computing w shifts in one clock —
+// and that is the primitive these impls model.
+
+impl RngSource for Lfsr16 {
+    /// Two 16-shift leaps assemble a 32-bit word from the 16-bit register.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        let mut hi = 0u16;
+        let mut lo = 0u16;
+        for _ in 0..16 {
+            hi = self.step();
+        }
+        for _ in 0..16 {
+            lo = self.step();
+        }
+        ((hi as u32) << 16) | lo as u32
+    }
+}
+
+impl RngSource for Lfsr32 {
+    /// One 32-shift leap per word.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        let mut w = 0u32;
+        for _ in 0..32 {
+            w = self.step();
+        }
+        w
+    }
+}
+
+impl RngSource for Lfsr64 {
+    /// One 32-shift leap per word; the top half of the register is the
+    /// sample.
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        let mut w = 0u64;
+        for _ in 0..32 {
+            w = self.step();
+        }
+        (w >> 32) as u32
+    }
+}
+
+/// Approximate normal sampler built from uniform LFSR outputs
+/// (Irwin–Hall / central-limit construction, §VII-B of the paper).
+///
+/// Summing `K` independent uniforms on `[0, 1)` gives mean `K/2` and
+/// variance `K/12`; with the default `K = 12` the standardized sum
+/// `Σuᵢ − 6` approximates `N(0, 1)` closely enough for reward sampling,
+/// while costing only `K` LFSR shifts and an adder tree — no multipliers,
+/// which is why the paper prefers it over Box–Muller style samplers.
+#[derive(Debug, Clone)]
+pub struct NormalLfsr {
+    // One register per uniform term: consecutive states of a *single*
+    // Galois LFSR are shifts of each other and therefore strongly
+    // correlated, which inflates the Irwin-Hall variance. The hardware
+    // described in the paper instantiates k parallel LFSRs feeding an
+    // adder tree, which is what we model.
+    lfsrs: Vec<Lfsr32>,
+}
+
+impl NormalLfsr {
+    /// Default number of uniform terms (variance exactly 1).
+    pub const DEFAULT_K: u32 = 12;
+
+    /// Sampler with the default 12-term sum.
+    pub fn new(seed: u32) -> Self {
+        Self::with_terms(seed, Self::DEFAULT_K)
+    }
+
+    /// Sampler summing `k ≥ 1` uniform terms from `k` parallel LFSRs.
+    /// Larger `k` is closer to Gaussian in the tails at the cost of more
+    /// registers.
+    pub fn with_terms(seed: u32, k: u32) -> Self {
+        assert!(k >= 1, "Irwin-Hall sampler needs at least one term");
+        // Derive well-separated seeds with a splitmix-style scramble, as
+        // distinct reset values would be chosen per register in hardware.
+        let lfsrs = (0..k)
+            .map(|i| {
+                let mut z = (seed as u64)
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                Lfsr32::new((z ^ (z >> 31)) as u32)
+            })
+            .collect();
+        Self { lfsrs }
+    }
+
+    /// One standard-normal sample (approximately).
+    pub fn sample_standard(&mut self) -> f64 {
+        // Hardware sums k 16-bit uniform words into an integer accumulator
+        // and re-biases; we mirror that to stay bit-faithful: each term is
+        // the top 16 bits of one register's 32-bit step.
+        let mut acc: u64 = 0;
+        for l in &mut self.lfsrs {
+            acc += (l.next_u32() >> 16) as u64;
+        }
+        let k = self.lfsrs.len() as u32;
+        // acc/2^16 is the Irwin-Hall sum on [0, k); standardize.
+        let sum = acc as f64 / 65536.0;
+        let mean = k as f64 / 2.0;
+        let std = (k as f64 / 12.0).sqrt();
+        (sum - mean) / std
+    }
+
+    /// One sample from `N(mean, std²)`.
+    pub fn sample(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.sample_standard()
+    }
+
+    /// Number of uniform terms per sample (= parallel LFSR registers).
+    pub fn terms(&self) -> u32 {
+        self.lfsrs.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::RngSource;
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        assert_eq!(Lfsr16::new(0).peek(), 1);
+        assert_eq!(Lfsr32::new(0).peek(), 1);
+        assert_eq!(Lfsr64::new(0).peek(), 1);
+    }
+
+    #[test]
+    fn lfsr16_is_maximal_length() {
+        // Walk the full period and verify we return to the seed without
+        // hitting it early and without ever reaching zero.
+        let mut l = Lfsr16::new(0xACE1);
+        let mut count = 0u64;
+        loop {
+            let s = l.step();
+            count += 1;
+            assert_ne!(s, 0, "LFSR reached the lock-up state");
+            if s == 0xACE1 {
+                break;
+            }
+            assert!(count <= Lfsr16::PERIOD, "period exceeded 2^16-1");
+        }
+        assert_eq!(count, Lfsr16::PERIOD);
+    }
+
+    #[test]
+    fn lfsr16_visits_every_nonzero_state() {
+        let mut seen = vec![false; 1 << 16];
+        let mut l = Lfsr16::new(1);
+        for _ in 0..Lfsr16::PERIOD {
+            let s = l.step() as usize;
+            assert!(!seen[s], "state {s} repeated before full period");
+            seen[s] = true;
+        }
+        assert!(!seen[0]);
+        assert_eq!(seen.iter().filter(|&&b| b).count() as u64, Lfsr16::PERIOD);
+    }
+
+    #[test]
+    fn lfsr32_does_not_repeat_early() {
+        let mut l = Lfsr32::new(0xDEADBEEF);
+        let start = l.peek();
+        for _ in 0..1_000_000 {
+            assert_ne!(l.step(), start);
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Lfsr32::new(42);
+        let mut b = Lfsr32::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Lfsr32::new(1);
+        let mut b = Lfsr32::new(2);
+        let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 5, "streams from different seeds nearly identical");
+    }
+
+    #[test]
+    fn lfsr16_next_u32_uses_two_leaps() {
+        let mut l = Lfsr16::new(0xACE1);
+        let mut copy = l.clone();
+        let w = l.next_u32();
+        let mut hi = 0u16;
+        let mut lo = 0u16;
+        for _ in 0..16 {
+            hi = copy.step();
+        }
+        for _ in 0..16 {
+            lo = copy.step();
+        }
+        assert_eq!(w, ((hi as u32) << 16) | lo as u32);
+    }
+
+    #[test]
+    fn consecutive_draws_are_not_serially_correlated() {
+        // The leap-forward requirement: without it, the low bit of draw
+        // t+1 deterministically equals a high bit of draw t and 2-bit
+        // action samples can never produce certain successor pairs.
+        let mut l = Lfsr32::new(0xACE1);
+        let mut pair_counts = [[0u32; 4]; 4];
+        let mut prev = (l.next_u32() >> 30) as usize;
+        for _ in 0..40_000 {
+            let cur = (l.next_u32() >> 30) as usize;
+            pair_counts[prev][cur] += 1;
+            prev = cur;
+        }
+        for (i, row) in pair_counts.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                let frac = c as f64 / 40_000.0;
+                assert!(
+                    (frac - 1.0 / 16.0).abs() < 0.01,
+                    "pair ({i},{j}) frequency {frac}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_output_is_roughly_uniform() {
+        // Chi-square over 16 buckets of the top 4 bits; loose bound.
+        let mut l = Lfsr32::new(777);
+        let n = 160_000;
+        let mut buckets = [0u32; 16];
+        for _ in 0..n {
+            buckets[(l.next_u32() >> 28) as usize] += 1;
+        }
+        let expect = n as f64 / 16.0;
+        let chi2: f64 = buckets
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expect;
+                d * d / expect
+            })
+            .sum();
+        // 15 dof; 99.9th percentile ≈ 37.7.
+        assert!(chi2 < 37.7, "chi2 = {chi2}");
+    }
+
+    #[test]
+    fn normal_sampler_moments() {
+        let mut n = NormalLfsr::new(31337);
+        let samples: Vec<f64> = (0..200_000).map(|_| n.sample_standard()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn normal_sampler_is_bounded_like_irwin_hall() {
+        // A 12-term Irwin-Hall sum can never exceed ±6 standard deviations.
+        let mut n = NormalLfsr::new(5);
+        for _ in 0..100_000 {
+            let x = n.sample_standard();
+            assert!(x.abs() <= 6.0, "sample {x} outside Irwin-Hall support");
+        }
+    }
+
+    #[test]
+    fn normal_sampler_mean_std_transform() {
+        let mut n = NormalLfsr::new(99);
+        let samples: Vec<f64> = (0..100_000).map(|_| n.sample(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one term")]
+    fn normal_sampler_rejects_zero_terms() {
+        NormalLfsr::with_terms(1, 0);
+    }
+}

@@ -1,0 +1,39 @@
+#![deny(missing_docs)]
+
+//! FPGA component and cost models for the QTAccel simulation suite.
+//!
+//! The QTAccel paper evaluates a hardware design; reproducing it in Rust
+//! means modelling the hardware primitives the design is assembled from, at
+//! the level of detail the paper's claims depend on:
+//!
+//! * [`lfsr`] — linear feedback shift registers, the paper's random number
+//!   generators ("The action selector used to generate random actions is
+//!   implemented using linear feedback shift registers"), plus the
+//!   Irwin–Hall normal sampler of §VII-B (sum of uniform LFSR outputs).
+//! * [`rng`] — the [`rng::RngSource`] trait, so the *identical* bit stream
+//!   can drive both the cycle-accurate pipeline and the software golden
+//!   reference; this is what makes bit-exact equivalence testing possible.
+//! * [`bram`] — synchronous dual-port block RAM with one-cycle read
+//!   latency, write-collision arbitration (§VII-A: "one pipeline
+//!   arbitrarily overwrites the other"), and the 36 Kb block cost model.
+//! * [`dsp`] — DSP-slice counting for fixed-point multipliers.
+//! * [`resource`] — device descriptors (xcvu13p, Virtex-7, Virtex-6),
+//!   resource reports and utilization, the calibrated fmax model behind
+//!   Fig. 6, and the power model behind Figs. 3/5.
+//! * [`pipeline`] — cycle bookkeeping shared by pipeline simulators.
+
+pub mod bram;
+pub mod dsp;
+pub mod explut;
+pub mod lfsr;
+pub mod pipeline;
+pub mod resource;
+pub mod rng;
+
+pub use bram::{Bram, BramPort, WriteCollisionPolicy};
+pub use dsp::dsp_slices_for_mul;
+pub use explut::ExpLut;
+pub use lfsr::{Lfsr16, Lfsr32, Lfsr64, NormalLfsr};
+pub use pipeline::CycleStats;
+pub use resource::{Device, FmaxModel, PowerModel, ResourceReport, Utilization};
+pub use rng::{RngSource, SeedSequence};

@@ -1,0 +1,329 @@
+//! The [`RngSource`] abstraction shared by hardware and software models.
+//!
+//! Every stochastic choice in the paper's architecture is derived from an
+//! N-bit uniform word: random action selection, the ε-greedy comparison
+//! ("generate a N bit random number; if the number is between 1 and
+//! (1−ε)·2^N then we read the maximum Q-value"), and direct indexing of a
+//! uniformly chosen action ("as we know the range beforehand, we can use
+//! the random number to directly index one of the Q-values").
+//!
+//! [`RngSource`] captures exactly that interface. The pipeline simulator
+//! and the software golden reference consume the *same* trait object state,
+//! so given the same seed they make identical decisions — the foundation of
+//! the bit-exact equivalence tests.
+
+/// A deterministic stream of uniform 32-bit words.
+pub trait RngSource {
+    /// Next uniform 32-bit word.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next uniform word truncated to the low `bits` bits (`1..=32`).
+    #[inline]
+    fn next_bits(&mut self, bits: u32) -> u32 {
+        debug_assert!((1..=32).contains(&bits));
+        if bits == 32 {
+            self.next_u32()
+        } else {
+            self.next_u32() & ((1u32 << bits) - 1)
+        }
+    }
+
+    /// Uniform integer in `[0, n)` via the multiply-shift range reduction
+    /// the paper alludes to ("directly index one of the Q-values"): a
+    /// single multiplier maps the N-bit word onto the range, with bias
+    /// ≤ n/2³² — negligible for the action counts involved (≤ 8).
+    #[inline]
+    fn below(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0);
+        ((self.next_u32() as u64 * n as u64) >> 32) as u32
+    }
+
+    /// The hardware ε-greedy comparison: true ⇒ *explore* (choose a random
+    /// action), false ⇒ *exploit* (read the maximum Q-value).
+    ///
+    /// `epsilon_q32` is ε represented as a 32-bit fixed fraction
+    /// (`ε·2³²`), i.e. the comparator threshold register.
+    #[inline]
+    fn explore(&mut self, epsilon_q32: u32) -> bool {
+        self.next_u32() < epsilon_q32
+    }
+
+    /// Uniform `f64` in `[0, 1)` (for software-side statistics; hardware
+    /// never materializes floats).
+    #[inline]
+    fn next_f64(&mut self) -> f64 {
+        self.next_u32() as f64 / 4_294_967_296.0
+    }
+}
+
+/// The paper's one-word ε-greedy decision (§V-B): draw a single N-bit
+/// word; if it falls in the explore region `[0, ε·2^N)` the *same* word
+/// directly indexes a uniformly chosen action ("as we know the range
+/// beforehand, we can use the random number to directly index one of the
+/// Q-values"); otherwise exploit.
+///
+/// Returns `Some(action)` to explore, `None` to exploit (read the max).
+#[inline]
+pub fn epsilon_greedy_draw(
+    rng: &mut dyn RngSource,
+    epsilon_q32: u32,
+    num_actions: u32,
+) -> Option<u32> {
+    debug_assert!(num_actions > 0);
+    let x = rng.next_u32();
+    if x < epsilon_q32 {
+        // x is uniform on [0, ε·2^32): rescale onto the action range.
+        Some(((x as u64 * num_actions as u64) / epsilon_q32 as u64) as u32)
+    } else {
+        None
+    }
+}
+
+/// Convert an ε in `[0, 1]` to the 32-bit comparator threshold.
+#[inline]
+pub fn epsilon_to_q32(epsilon: f64) -> u32 {
+    let e = epsilon.clamp(0.0, 1.0);
+    // 1.0 maps to u32::MAX (always explore); exact 2^32 would overflow.
+    if e >= 1.0 {
+        u32::MAX
+    } else {
+        (e * 4_294_967_296.0) as u32
+    }
+}
+
+/// Derives well-separated sub-seeds from one master seed (splitmix64).
+///
+/// The accelerator instantiates several independent, enable-gated LFSR
+/// units (start-state selector, behaviour action selector, update action
+/// selector, one pair per pipeline). Both the pipeline model and the
+/// software golden reference derive each unit's reset value through this
+/// sequence, so seeding one master value reproduces identical decision
+/// streams in both — the precondition for bit-exact equivalence tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedSequence {
+    master: u64,
+}
+
+impl SeedSequence {
+    /// Sequence rooted at `master`.
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The `index`-th derived 32-bit seed (never zero, so it is always a
+    /// legal LFSR state).
+    pub fn derive(&self, index: u64) -> u32 {
+        let mut z = self
+            .master
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        let s = (z ^ (z >> 31)) as u32;
+        if s == 0 {
+            1
+        } else {
+            s
+        }
+    }
+}
+
+/// A counting wrapper that records how many words were drawn — useful for
+/// verifying that two implementations consume the stream in lock-step.
+#[derive(Debug)]
+pub struct CountingRng<R> {
+    inner: R,
+    drawn: u64,
+}
+
+impl<R: RngSource> CountingRng<R> {
+    /// Wrap an RNG source.
+    pub fn new(inner: R) -> Self {
+        Self { inner, drawn: 0 }
+    }
+
+    /// Number of 32-bit words drawn so far.
+    pub fn drawn(&self) -> u64 {
+        self.drawn
+    }
+
+    /// Unwrap the inner source.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: RngSource> RngSource for CountingRng<R> {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.drawn += 1;
+        self.inner.next_u32()
+    }
+}
+
+impl<R: RngSource + ?Sized> RngSource for &mut R {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// A fixed, replayable word sequence — for tests that need to force exact
+/// decision sequences through a policy or pipeline.
+#[derive(Debug, Clone)]
+pub struct ScriptedRng {
+    words: Vec<u32>,
+    pos: usize,
+}
+
+impl ScriptedRng {
+    /// RNG that replays `words`, then cycles.
+    pub fn new(words: Vec<u32>) -> Self {
+        assert!(!words.is_empty(), "scripted RNG needs at least one word");
+        Self { words, pos: 0 }
+    }
+}
+
+impl RngSource for ScriptedRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        let w = self.words[self.pos];
+        self.pos = (self.pos + 1) % self.words.len();
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lfsr::Lfsr32;
+
+    #[test]
+    fn next_bits_masks() {
+        let mut r = ScriptedRng::new(vec![0xFFFF_FFFF]);
+        assert_eq!(r.next_bits(3), 0b111);
+        assert_eq!(r.next_bits(32), 0xFFFF_FFFF);
+        assert_eq!(r.next_bits(1), 1);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = Lfsr32::new(9);
+        let n = 8;
+        let mut seen = [false; 8];
+        for _ in 0..10_000 {
+            let v = r.below(n) as usize;
+            assert!(v < n as usize);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some action index never drawn");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Lfsr32::new(123);
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[r.below(4) as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 0.25).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn explore_threshold_matches_epsilon() {
+        let mut r = Lfsr32::new(55);
+        let eps = 0.3;
+        let t = epsilon_to_q32(eps);
+        let n = 200_000;
+        let explored = (0..n).filter(|_| r.explore(t)).count();
+        let frac = explored as f64 / n as f64;
+        assert!((frac - eps).abs() < 0.01, "explore fraction {frac}");
+    }
+
+    #[test]
+    fn epsilon_edge_cases() {
+        assert_eq!(epsilon_to_q32(0.0), 0);
+        assert_eq!(epsilon_to_q32(1.0), u32::MAX);
+        assert_eq!(epsilon_to_q32(-3.0), 0);
+        assert_eq!(epsilon_to_q32(7.0), u32::MAX);
+        let mut r = Lfsr32::new(1);
+        // ε = 0 never explores.
+        assert!((0..1000).all(|_| !r.explore(0)));
+    }
+
+    #[test]
+    fn epsilon_greedy_draw_statistics() {
+        let mut rng = Lfsr32::new(4242);
+        let eps = 0.4;
+        let thr = epsilon_to_q32(eps);
+        let n = 200_000;
+        let mut explored = 0u32;
+        let mut action_counts = [0u32; 4];
+        for _ in 0..n {
+            if let Some(a) = epsilon_greedy_draw(&mut rng, thr, 4) {
+                explored += 1;
+                action_counts[a as usize] += 1;
+            }
+        }
+        let frac = explored as f64 / n as f64;
+        assert!((frac - eps).abs() < 0.01, "explore fraction {frac}");
+        // Conditional on exploring, actions are uniform.
+        for &c in &action_counts {
+            let f = c as f64 / explored as f64;
+            assert!((f - 0.25).abs() < 0.02, "action fraction {f}");
+        }
+    }
+
+    #[test]
+    fn epsilon_greedy_draw_edges() {
+        let mut rng = Lfsr32::new(5);
+        // ε = 0 never explores.
+        assert!((0..100).all(|_| epsilon_greedy_draw(&mut rng, 0, 8).is_none()));
+        // ε = 1 always explores, in range.
+        for _ in 0..100 {
+            let a = epsilon_greedy_draw(&mut rng, u32::MAX, 8).unwrap();
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn seed_sequence_is_deterministic_and_distinct() {
+        let s = SeedSequence::new(42);
+        let a: Vec<u32> = (0..8).map(|i| s.derive(i)).collect();
+        let b: Vec<u32> = (0..8).map(|i| s.derive(i)).collect();
+        assert_eq!(a, b);
+        for i in 0..8 {
+            assert_ne!(a[i], 0, "derived seed must be nonzero");
+            for j in (i + 1)..8 {
+                assert_ne!(a[i], a[j], "derived seeds must differ");
+            }
+        }
+        assert_ne!(SeedSequence::new(43).derive(0), a[0]);
+    }
+
+    #[test]
+    fn counting_rng_counts() {
+        let mut r = CountingRng::new(Lfsr32::new(3));
+        r.next_u32();
+        r.below(5);
+        r.next_bits(4);
+        assert_eq!(r.drawn(), 3);
+    }
+
+    #[test]
+    fn scripted_rng_cycles() {
+        let mut r = ScriptedRng::new(vec![1, 2]);
+        assert_eq!(r.next_u32(), 1);
+        assert_eq!(r.next_u32(), 2);
+        assert_eq!(r.next_u32(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn scripted_rng_rejects_empty() {
+        ScriptedRng::new(vec![]);
+    }
+}

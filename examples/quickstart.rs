@@ -1,0 +1,61 @@
+//! Quickstart: train Q-Learning on a small grid world with the
+//! cycle-accurate QTAccel pipeline and inspect what it learned.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qtaccel::accel::{AccelConfig, QLearningAccel};
+use qtaccel::core::eval::{evaluate_policy, step_optimality};
+use qtaccel::envs::GridWorld;
+use qtaccel::fixed::Q8_8;
+use qtaccel::hdl::lfsr::Lfsr32;
+
+fn main() {
+    // An 8x8 grid world: robot starts anywhere, goal in the corner,
+    // a couple of obstacles. This is the paper's smallest test case.
+    let env = GridWorld::builder(8, 8)
+        .goal(7, 7)
+        .obstacle(3, 3)
+        .obstacle(4, 3)
+        .build();
+
+    // The accelerator: 16-bit Q8.8 datapath (the paper's default),
+    // alpha = 0.5, gamma = 0.875 (both exactly representable).
+    let config = AccelConfig::default().with_alpha(0.5).with_gamma(0.875);
+    let mut accel = QLearningAccel::<Q8_8>::new(&env, config);
+
+    // Train for 200k samples — the pipeline retires one per clock cycle.
+    let stats = accel.train_samples(&env, 200_000);
+    println!(
+        "trained {} samples in {} cycles ({:.4} samples/cycle, {} forwards)",
+        stats.samples,
+        stats.cycles,
+        stats.samples_per_cycle(),
+        stats.forwards
+    );
+
+    // What would this run cost on the paper's FPGA?
+    let r = accel.resources();
+    println!(
+        "modeled hardware: {} DSP, {} BRAM blocks ({:.2}% of xcvu13p), {:.0} MHz -> {:.0} MS/s",
+        r.report.dsp, r.report.bram36, r.utilization.bram_pct, r.fmax_mhz, r.throughput_msps
+    );
+
+    // Extract and evaluate the greedy policy.
+    let policy = accel.greedy_policy();
+    let mut rng = Lfsr32::new(42);
+    let report = evaluate_policy(&env, &policy, 200, 64, &mut rng);
+    let optimality = step_optimality(&env, &policy, &env.shortest_distances());
+    println!(
+        "policy: success rate {:.0}%, mean path {:.1} steps, step-optimality {:.2}",
+        report.success_rate() * 100.0,
+        report.mean_steps,
+        optimality
+    );
+
+    println!("\nlearned policy ('G' goal, '#' obstacle):");
+    print!("{}", env.render_policy(&policy));
+
+    assert_eq!(report.success_rate(), 1.0, "policy must reach the goal");
+}

@@ -1,0 +1,102 @@
+//! SARSA vs Q-Learning on the cliff walk — the classical on-policy /
+//! off-policy behavioural split, reproduced on the accelerator engines.
+//!
+//! Q-Learning learns the *optimal* edge-hugging path (it updates toward
+//! the greedy policy, ignoring that its ε-greedy behaviour occasionally
+//! steps off the cliff). SARSA learns the *safe* detour (its targets
+//! include the exploration noise, so cliff-adjacent cells look bad).
+//!
+//! Engines run with `MaxMode::ExactScan` here: the cliff's rewards are
+//! all negative, and the paper's monotone Qmax array — zero-initialized
+//! and never decreasing — cannot represent a best-value below zero (see
+//! the `step_reward` docs in `qtaccel-envs`). The scan mode is the
+//! unoptimized datapath the paper's §V-A describes, at |A| reads per
+//! update.
+//!
+//! ```text
+//! cargo run --release --example sarsa_cliff
+//! ```
+
+use qtaccel::accel::{AccelConfig, QLearningAccel, SarsaAccel};
+use qtaccel::core::MaxMode;
+use qtaccel::envs::CliffWalk;
+use qtaccel::fixed::Q16_16;
+
+fn main() {
+    let cliff = CliffWalk::standard();
+    let cfg = AccelConfig::default()
+        .with_alpha(0.25)
+        .with_gamma(0.96875)
+        .with_seed(11)
+        .with_max_mode(MaxMode::ExactScan);
+
+    let samples = 2_000_000u64;
+
+    let mut ql = QLearningAccel::<Q16_16>::new(&cliff, cfg);
+    ql.train_samples(&cliff, samples);
+    let ql_policy = ql.greedy_policy();
+
+    let mut sa = SarsaAccel::<Q16_16>::new(&cliff, cfg, 0.1);
+    sa.train_samples(&cliff, samples);
+    let sa_policy = sa.greedy_policy();
+
+    let ql_path = cliff.rollout(&ql_policy, 100);
+    let sa_path = cliff.rollout(&sa_policy, 100);
+
+    println!("cliff walk 12x4, cliff penalty -100, step -1, epsilon 0.1\n");
+    render(&cliff, "Q-Learning (off-policy)", &ql_policy, &ql_path);
+    render(&cliff, "SARSA (on-policy)", &sa_policy, &sa_path);
+
+    let ql_len = ql_path.as_ref().map(|p| p.len() - 1);
+    let sa_len = sa_path.as_ref().map(|p| p.len() - 1);
+    println!("Q-Learning path length: {ql_len:?} (optimal is 13)");
+    println!("SARSA path length     : {sa_len:?} (safe detour is longer)");
+
+    let ql_len = ql_len.expect("Q-Learning must reach the goal");
+    let sa_len = sa_len.expect("SARSA must reach the goal");
+    assert_eq!(ql_len, 13, "Q-Learning finds the optimal edge path");
+    assert!(sa_len > ql_len, "SARSA detours away from the cliff");
+
+    // The defining SARSA property: its path never touches the row just
+    // above the cliff between the endpoints... or at least strictly less
+    // than Q-Learning's edge-hugging path does.
+    let danger_row = |path: &Vec<u32>| {
+        path.iter()
+            .filter(|&&s| {
+                let (x, y) = cliff.xy_of(s);
+                y == 2 && x > 0 && x < 11
+            })
+            .count()
+    };
+    let (dq, ds) = (
+        danger_row(ql_path.as_ref().unwrap()),
+        danger_row(sa_path.as_ref().unwrap()),
+    );
+    println!("cells spent in the danger row: Q-Learning {dq}, SARSA {ds}");
+    assert!(ds < dq, "SARSA spends less time next to the cliff");
+}
+
+fn render(cliff: &CliffWalk, title: &str, policy: &[u32], path: &Option<Vec<u32>>) {
+    println!("{title}:");
+    let on_path = |s: u32| path.as_ref().is_some_and(|p| p.contains(&s));
+    for y in 0..4u32 {
+        let mut line = String::new();
+        for x in 0..12u32 {
+            let s = cliff.state_of(x, y);
+            let c = if s == cliff.goal_state() {
+                'G'
+            } else if cliff.is_cliff(s) {
+                '~'
+            } else if s == cliff.start_state() {
+                'S'
+            } else if on_path(s) {
+                '*'
+            } else {
+                ['<', '^', '>', 'v'][policy[s as usize] as usize]
+            };
+            line.push(c);
+        }
+        println!("  {line}");
+    }
+    println!();
+}
