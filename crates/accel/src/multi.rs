@@ -476,14 +476,32 @@ impl<V: QValue> IndependentPipelines<V> {
         samples_each: u64,
     ) -> CycleStats {
         assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (pipe, env) in self.pipes.iter_mut().zip(envs) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     pipe.run_samples(env, samples_each);
                 });
             }
-        })
-        .expect("pipeline simulation thread panicked");
+        });
+        self.stats()
+    }
+
+    /// [`train_samples`](Self::train_samples) through the fast-path
+    /// executor on every bank — bit-identical results (see
+    /// `AccelPipeline::run_samples_fast`).
+    pub fn train_samples_fast<E: Environment + Sync>(
+        &mut self,
+        envs: &[E],
+        samples_each: u64,
+    ) -> CycleStats {
+        assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
+        std::thread::scope(|scope| {
+            for (pipe, env) in self.pipes.iter_mut().zip(envs) {
+                scope.spawn(move || {
+                    pipe.run_samples_fast(env, samples_each);
+                });
+            }
+        });
         self.stats()
     }
 

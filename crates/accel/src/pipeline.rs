@@ -27,6 +27,19 @@
 //! memory image — `q_mem` holds only committed writes, and the pending
 //! queue carries (commit-cycle, address, value) triples — so stale reads
 //! in `Ignore` mode are real stale values, not emulation shortcuts.
+//!
+//! ## Host-side cost of the forwarding network
+//!
+//! The queues are drained once per step (the per-step commit point at the
+//! top of [`AccelPipeline::step`]) instead of before every read, and each
+//! read resolves its newest in-flight writer through [`FwdIndex`] — an
+//! O(1) direct-mapped last-writer map — instead of a linear queue scan.
+//! Reads that race a write committing mid-step compare the entry's commit
+//! cycle against the read cycle, so cycle/stall/forward/bubble counters
+//! are bit-identical to the scan-per-read formulation (pinned by the
+//! `hazard_mode_cycle_stats_are_pinned` regression test). This is the
+//! cycle-accurate engine; [`AccelPipeline::run_samples_fast`] is the
+//! bit-exact fast path that skips the per-cycle bookkeeping entirely.
 
 use std::collections::VecDeque;
 
@@ -36,7 +49,7 @@ use qtaccel_core::qtable::{MaxMode, QTable, QmaxTable};
 use qtaccel_core::trainer::{seed_unit, Transition};
 use qtaccel_envs::{sa_index, Action, Environment, RewardTable, State};
 use qtaccel_fixed::QValue;
-use qtaccel_hdl::lfsr::Lfsr32;
+use qtaccel_hdl::lfsr::{Lfsr32, Lfsr32Unrolled};
 use qtaccel_hdl::pipeline::CycleStats;
 use qtaccel_hdl::rng::{epsilon_greedy_draw, epsilon_to_q32, RngSource, SeedSequence};
 
@@ -46,12 +59,193 @@ const WRITE_OFFSET: u64 = 3;
 const FILL: u64 = 3;
 
 /// A write travelling down the pipe, not yet visible in the BRAM image.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Pending<T> {
     commit_cycle: u64,
     addr: usize,
     value: T,
 }
+
+/// Number of slots in the direct-mapped forwarding index. Must be a power
+/// of two; 64 keeps the whole index in one cache line pair while making
+/// address aliasing rare even on large grids.
+const FWD_SLOTS: usize = 64;
+
+/// Result of an O(1) last-writer lookup.
+enum FwdHit<T> {
+    /// No in-flight write maps to the address's slot: a definite miss.
+    Miss,
+    /// The newest in-flight write to this exact address.
+    Newest(Pending<T>),
+    /// The slot is occupied by a different address (hash aliasing): the
+    /// queue itself must be consulted.
+    Aliased,
+}
+
+/// Direct-mapped map from BRAM address to the *newest* in-flight write,
+/// maintained alongside a pending queue on every push and retirement.
+///
+/// Soundness relies on two queue invariants: pushes carry strictly
+/// increasing commit cycles (each slot therefore always holds the newest
+/// write hashing to it), and retirements pop oldest-first (so the slot's
+/// entry can only be retired once every same-slot entry is, at which
+/// point the slot count reaches zero). A zero count is thus a definite
+/// miss, a slot hit on the exact address is the newest matching writer,
+/// and only hash aliasing falls back to a linear scan.
+#[derive(Debug, Clone)]
+struct FwdIndex<T> {
+    /// In-flight writes hashing to each slot (exact count).
+    counts: [u32; FWD_SLOTS],
+    /// Newest in-flight write hashing to each slot.
+    slots: [Option<Pending<T>>; FWD_SLOTS],
+}
+
+impl<T: Copy> FwdIndex<T> {
+    fn new() -> Self {
+        Self {
+            counts: [0; FWD_SLOTS],
+            slots: [None; FWD_SLOTS],
+        }
+    }
+
+    #[inline(always)]
+    fn slot_of(addr: usize) -> usize {
+        addr & (FWD_SLOTS - 1)
+    }
+
+    /// Record a write pushed onto the companion queue.
+    #[inline(always)]
+    fn push(&mut self, p: Pending<T>) {
+        let h = Self::slot_of(p.addr);
+        self.counts[h] += 1;
+        self.slots[h] = Some(p);
+    }
+
+    /// Record the retirement (commit) of the queue's front entry.
+    #[inline(always)]
+    fn retire(&mut self, addr: usize) {
+        let h = Self::slot_of(addr);
+        debug_assert!(self.counts[h] > 0, "retire without matching push");
+        self.counts[h] -= 1;
+        if self.counts[h] == 0 {
+            self.slots[h] = None;
+        }
+    }
+
+    /// O(1) newest-writer lookup for `addr`.
+    #[inline(always)]
+    fn newest(&self, addr: usize) -> FwdHit<T> {
+        let h = Self::slot_of(addr);
+        if self.counts[h] == 0 {
+            return FwdHit::Miss;
+        }
+        match self.slots[h] {
+            Some(p) if p.addr == addr => FwdHit::Newest(p),
+            _ => FwdHit::Aliased,
+        }
+    }
+
+    /// Forget everything (companion queue was emptied wholesale).
+    fn clear(&mut self) {
+        self.counts = [0; FWD_SLOTS];
+        self.slots = [None; FWD_SLOTS];
+    }
+}
+
+/// Capacity of the fast path's in-flight write window. Writes land
+/// `WRITE_OFFSET` cycles after issue and stage-1 cycles advance by at
+/// least one per sample, so at most `WRITE_OFFSET + 1` writes can be
+/// in flight around any read — the hardware's forwarding window.
+const FAST_RING: usize = 4;
+
+/// Fixed-capacity ordered window of the most recent writes, the fast
+/// path's replacement for a pending queue: no allocation, no per-cycle
+/// draining, at most [`FAST_RING`] entries scanned per lookup.
+#[derive(Debug, Clone)]
+struct WriteRing<T> {
+    buf: [Option<Pending<T>>; FAST_RING],
+    head: usize,
+    len: usize,
+}
+
+impl<T: Copy> WriteRing<T> {
+    fn new() -> Self {
+        Self {
+            buf: [None; FAST_RING],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Append the newest write, evicting the oldest when full. Eviction
+    /// is only legal when the ring mirrors writes already materialized
+    /// in memory (the immediate-commit modes); the delayed-commit user
+    /// never fills past capacity by the in-flight bound above.
+    #[inline(always)]
+    fn push(&mut self, p: Pending<T>) {
+        if self.len == FAST_RING {
+            self.head = (self.head + 1) % FAST_RING;
+            self.len -= 1;
+        }
+        self.buf[(self.head + self.len) % FAST_RING] = Some(p);
+        self.len += 1;
+    }
+
+    /// Commit cycle of the newest entry for `addr`, if any.
+    #[inline(always)]
+    fn newest_cc(&self, addr: usize) -> Option<u64> {
+        for i in (0..self.len).rev() {
+            if let Some(p) = self.buf[(self.head + i) % FAST_RING] {
+                if p.addr == addr {
+                    return Some(p.commit_cycle);
+                }
+            }
+        }
+        None
+    }
+
+    /// Apply every write due strictly before `cycle` to `mem`, oldest
+    /// first (the delayed-commit drain).
+    #[inline(always)]
+    fn retire_due<M: FnMut(usize, T)>(&mut self, cycle: u64, mut apply: M) {
+        while self.len > 0 {
+            let p = self.buf[self.head].expect("ring slot within len");
+            if p.commit_cycle >= cycle {
+                break;
+            }
+            apply(p.addr, p.value);
+            self.buf[self.head] = None;
+            self.head = (self.head + 1) % FAST_RING;
+            self.len -= 1;
+        }
+    }
+
+    /// Entries oldest → newest.
+    fn iter(&self) -> impl Iterator<Item = Pending<T>> + '_ {
+        (0..self.len).filter_map(move |i| self.buf[(self.head + i) % FAST_RING])
+    }
+}
+
+/// Fused per-`(s, a)` record for the window-register executor: packed
+/// transition (next state in the low bits, terminal flag in bit 31),
+/// reward, and the live Q word, interleaved so every table word an
+/// iteration touches shares one contiguous slab (a single cache line per
+/// state row for `Q8_8` × 8 actions, versus three separate arrays).
+///
+/// The transition/reward columns are a BRAM-style image of the
+/// environment, snapshotted on first fast-path use — exactly as the
+/// reward table is snapshotted at construction, and as the hardware keeps
+/// both tables memory-resident. The Q column is loaded from the committed
+/// `q_mem` at executor entry and written back at exit.
+#[derive(Debug, Clone, Copy)]
+struct FastCell<V> {
+    next_packed: u32,
+    reward: V,
+    q: V,
+}
+
+/// Terminal-state flag in [`FastCell::next_packed`].
+const TERMINAL_BIT: u32 = 1 << 31;
 
 /// The pipeline core shared by the Q-Learning and SARSA engines (and, in
 /// pairs, by the dual-pipeline configuration).
@@ -72,9 +266,24 @@ pub struct AccelPipeline<V> {
     q_mem: Vec<V>,
     qmax_mem: Vec<(V, Action)>,
     rewards: RewardTable<V>,
-    // In-flight writes.
+    // Fused (transition, reward, Q) image for the window-register
+    // executor, built once on first use (see `run_fast_forwarding_qmax`).
+    fast_image: Option<Vec<FastCell<V>>>,
+    // In-flight writes (queues are the source of truth; the indices are
+    // O(1) newest-writer accelerators kept in sync on push/retire).
     pending_q: VecDeque<Pending<V>>,
     pending_qmax: VecDeque<Pending<(V, Action)>>,
+    fwd_q: FwdIndex<V>,
+    fwd_qmax: FwdIndex<(V, Action)>,
+    // Forwarding-network visibility horizons. The BRAM controller
+    // retires every write due before the highest cycle it has serviced
+    // so far — notably the stage-4 read-modify-write at `c1 + 3`, which
+    // runs *ahead* of the next iteration's stage-1/2 reads. A write
+    // whose commit cycle falls below the horizon has left the pipe and
+    // is invisible to the forwarding network (no forward counted, no
+    // stall imposed) even for a read issued before its commit cycle.
+    drain_horizon_q: u64,
+    drain_horizon_qmax: u64,
     // Inter-iteration carry: (state, forwarded on-policy action).
     carry: Option<(State, Option<Action>)>,
     next_c1: u64,
@@ -117,8 +326,13 @@ impl<V: QValue> AccelPipeline<V> {
             q_mem: vec![V::zero(); s * a],
             qmax_mem,
             rewards: RewardTable::from_env(env),
+            fast_image: None,
             pending_q: VecDeque::new(),
             pending_qmax: VecDeque::new(),
+            fwd_q: FwdIndex::new(),
+            fwd_qmax: FwdIndex::new(),
+            drain_horizon_q: 0,
+            drain_horizon_qmax: 0,
             carry: None,
             next_c1: 0,
             stats: CycleStats {
@@ -154,6 +368,7 @@ impl<V: QValue> AccelPipeline<V> {
         while let Some(p) = self.pending_q.front() {
             if p.commit_cycle < cycle {
                 self.q_mem[p.addr] = p.value;
+                self.fwd_q.retire(p.addr);
                 self.pending_q.pop_front();
             } else {
                 break;
@@ -165,6 +380,7 @@ impl<V: QValue> AccelPipeline<V> {
         while let Some(p) = self.pending_qmax.front() {
             if p.commit_cycle < cycle {
                 self.qmax_mem[p.addr] = p.value;
+                self.fwd_qmax.retire(p.addr);
                 self.pending_qmax.pop_front();
             } else {
                 break;
@@ -172,49 +388,113 @@ impl<V: QValue> AccelPipeline<V> {
         }
     }
 
+    /// Newest in-flight Q write to `idx`: O(1) index hit or miss, linear
+    /// queue scan only under slot aliasing.
+    #[inline(always)]
+    fn newest_q(&self, idx: usize) -> Option<Pending<V>> {
+        match self.fwd_q.newest(idx) {
+            FwdHit::Miss => None,
+            FwdHit::Newest(p) => Some(p),
+            FwdHit::Aliased => self.pending_q.iter().rev().find(|p| p.addr == idx).copied(),
+        }
+    }
+
+    /// Newest in-flight Qmax write to `idx`.
+    #[inline(always)]
+    fn newest_qmax(&self, idx: usize) -> Option<Pending<(V, Action)>> {
+        match self.fwd_qmax.newest(idx) {
+            FwdHit::Miss => None,
+            FwdHit::Newest(p) => Some(p),
+            FwdHit::Aliased => self
+                .pending_qmax
+                .iter()
+                .rev()
+                .find(|p| p.addr == idx)
+                .copied(),
+        }
+    }
+
     /// Read Q(s, a) as issued at `cycle`. Returns the operand value and
     /// the stall delay this read imposes (nonzero only in stall-only
     /// mode).
+    ///
+    /// Queues are only drained up to the step's `c1`, so an in-flight
+    /// entry whose commit cycle already passed is *logically* committed:
+    /// its value equals the BRAM word the drain-per-read formulation
+    /// would read, it merely has not been folded into `q_mem` yet. The
+    /// visibility-horizon comparison below keeps forwarding counts and
+    /// stall delays identical to physically draining at every service
+    /// point: an entry still forwards (or stalls the front end) only
+    /// while its commit cycle is at or above the highest cycle the
+    /// memory controller has serviced.
     fn read_q(&mut self, s: State, a: Action, cycle: u64) -> (V, u64) {
-        self.commit_q_until(cycle);
         let idx = sa_index(s, a, self.num_actions);
-        let newest = self.pending_q.iter().rev().find(|p| p.addr == idx);
         match self.config.hazard {
-            HazardMode::Forwarding => match newest {
-                Some(p) => {
-                    self.stats.forwards += 1;
-                    (p.value, 0)
+            HazardMode::Forwarding => {
+                let h = self.drain_horizon_q.max(cycle);
+                self.drain_horizon_q = h;
+                match self.newest_q(idx) {
+                    Some(p) => {
+                        if p.commit_cycle >= h {
+                            self.stats.forwards += 1;
+                        }
+                        (p.value, 0)
+                    }
+                    None => (self.q_mem[idx], 0),
                 }
-                None => (self.q_mem[idx], 0),
-            },
-            HazardMode::Ignore => (self.q_mem[idx], 0),
-            HazardMode::StallOnly => match newest {
-                // Hold the front end until the write commits, then the
-                // read returns the fresh value.
-                Some(p) => (p.value, p.commit_cycle + 1 - cycle),
-                None => (self.q_mem[idx], 0),
-            },
+            }
+            HazardMode::Ignore => {
+                // The stale-BRAM image must be materialized at the read
+                // cycle (mid-step commits are architecturally visible
+                // here). Amortized O(1): the per-step commit point has
+                // already caught the queue up to c1.
+                self.commit_q_until(cycle);
+                (self.q_mem[idx], 0)
+            }
+            HazardMode::StallOnly => {
+                let h = self.drain_horizon_q.max(cycle);
+                self.drain_horizon_q = h;
+                match self.newest_q(idx) {
+                    // Hold the front end until the write commits, then
+                    // the read returns the fresh value.
+                    Some(p) if p.commit_cycle >= h => (p.value, p.commit_cycle + 1 - cycle),
+                    Some(p) => (p.value, 0),
+                    None => (self.q_mem[idx], 0),
+                }
+            }
         }
     }
 
     /// Read the Qmax entry for `s` as issued at `cycle`.
     fn read_qmax(&mut self, s: State, cycle: u64) -> ((V, Action), u64) {
-        self.commit_qmax_until(cycle);
         let idx = s as usize;
-        let newest = self.pending_qmax.iter().rev().find(|p| p.addr == idx);
         match self.config.hazard {
-            HazardMode::Forwarding => match newest {
-                Some(p) => {
-                    self.stats.forwards += 1;
-                    (p.value, 0)
+            HazardMode::Forwarding => {
+                let h = self.drain_horizon_qmax.max(cycle);
+                self.drain_horizon_qmax = h;
+                match self.newest_qmax(idx) {
+                    Some(p) => {
+                        if p.commit_cycle >= h {
+                            self.stats.forwards += 1;
+                        }
+                        (p.value, 0)
+                    }
+                    None => (self.qmax_mem[idx], 0),
                 }
-                None => (self.qmax_mem[idx], 0),
-            },
-            HazardMode::Ignore => (self.qmax_mem[idx], 0),
-            HazardMode::StallOnly => match newest {
-                Some(p) => (p.value, p.commit_cycle + 1 - cycle),
-                None => (self.qmax_mem[idx], 0),
-            },
+            }
+            HazardMode::Ignore => {
+                self.commit_qmax_until(cycle);
+                (self.qmax_mem[idx], 0)
+            }
+            HazardMode::StallOnly => {
+                let h = self.drain_horizon_qmax.max(cycle);
+                self.drain_horizon_qmax = h;
+                match self.newest_qmax(idx) {
+                    Some(p) if p.commit_cycle >= h => (p.value, p.commit_cycle + 1 - cycle),
+                    Some(p) => (p.value, 0),
+                    None => (self.qmax_mem[idx], 0),
+                }
+            }
         }
     }
 
@@ -251,26 +531,35 @@ impl<V: QValue> AccelPipeline<V> {
 
     /// Stage-4 Qmax read-modify-write.
     fn qmax_writeback(&mut self, s: State, a: Action, v: V, cycle: u64) {
-        self.commit_qmax_until(cycle);
         let idx = s as usize;
         // The comparator's view of the current maximum: through the
         // forwarding network normally, the stale BRAM word in Ignore mode.
+        // A pending entry whose commit cycle already passed holds exactly
+        // the value the BRAM would after draining, so the newest-writer
+        // lookup needs no commit-cycle filter here.
         let current = match self.config.hazard {
-            HazardMode::Ignore => self.qmax_mem[idx].0,
-            _ => self
-                .pending_qmax
-                .iter()
-                .rev()
-                .find(|p| p.addr == idx)
-                .map(|p| p.value.0)
-                .unwrap_or(self.qmax_mem[idx].0),
+            HazardMode::Ignore => {
+                self.commit_qmax_until(cycle);
+                self.qmax_mem[idx].0
+            }
+            _ => {
+                // The controller services the RMW at the write cycle,
+                // retiring everything due before it: raise the
+                // visibility horizon past the next iteration's reads.
+                self.drain_horizon_qmax = self.drain_horizon_qmax.max(cycle);
+                self.newest_qmax(idx)
+                    .map(|p| p.value.0)
+                    .unwrap_or(self.qmax_mem[idx].0)
+            }
         };
         if v.vcmp(current) == core::cmp::Ordering::Greater {
-            self.pending_qmax.push_back(Pending {
+            let p = Pending {
                 commit_cycle: cycle,
                 addr: idx,
                 value: (v, a),
-            });
+            };
+            self.pending_qmax.push_back(p);
+            self.fwd_qmax.push(p);
         }
     }
 
@@ -345,6 +634,14 @@ impl<V: QValue> AccelPipeline<V> {
         debug_assert_eq!(env.num_actions(), self.num_actions, "environment mismatch");
         let c1 = self.next_c1;
 
+        // Per-step commit point: retire every write due before this
+        // step's stage 1. Reads further into the step resolve any write
+        // committing mid-step through the commit-cycle filters in
+        // read_q/read_qmax, so this is the only drain the common path
+        // performs.
+        self.commit_q_until(c1);
+        self.commit_qmax_until(c1);
+
         // Stage 1: state + behaviour action + transition + reads.
         let (s, a, d1) = match self.carry.take() {
             None => {
@@ -377,11 +674,13 @@ impl<V: QValue> AccelPipeline<V> {
         // Stage 4 (cycle c1 + stalls + 3): writeback.
         let stalls = d1 + d2;
         let write_cycle = c1 + stalls + WRITE_OFFSET;
-        self.pending_q.push_back(Pending {
+        let p = Pending {
             commit_cycle: write_cycle,
             addr: sa_index(s, a, self.num_actions),
             value: q_new,
-        });
+        };
+        self.pending_q.push_back(p);
+        self.fwd_q.push(p);
         self.qmax_writeback(s, a, q_new, write_cycle);
 
         self.stats.samples += 1;
@@ -416,6 +715,641 @@ impl<V: QValue> AccelPipeline<V> {
     pub fn run_samples<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
         for _ in 0..n {
             self.step(env);
+        }
+        self.stats
+    }
+
+    // ---- fast path ------------------------------------------------------
+
+    /// Fast read of Q(s, a) at `cycle`. In the immediate-commit modes
+    /// (`Forwarding`/`StallOnly`) `q_mem` already holds the newest value
+    /// for every address — exactly what the forwarding network or the
+    /// post-stall read would return — so the ring is consulted only for
+    /// the commit cycle (forward counting / stall delay). In `Ignore`
+    /// mode the ring carries genuinely uncommitted values and is drained
+    /// to the read cycle first, reproducing the stale BRAM image.
+    #[inline(always)]
+    fn fast_read_q(&mut self, qring: &mut WriteRing<V>, idx: usize, cycle: u64) -> (V, u64) {
+        match self.config.hazard {
+            HazardMode::Forwarding => {
+                let h = self.drain_horizon_q.max(cycle);
+                self.drain_horizon_q = h;
+                if matches!(qring.newest_cc(idx), Some(cc) if cc >= h) {
+                    self.stats.forwards += 1;
+                }
+                (self.q_mem[idx], 0)
+            }
+            HazardMode::Ignore => {
+                let mem = &mut self.q_mem;
+                qring.retire_due(cycle, |a, v| mem[a] = v);
+                (self.q_mem[idx], 0)
+            }
+            HazardMode::StallOnly => {
+                let h = self.drain_horizon_q.max(cycle);
+                self.drain_horizon_q = h;
+                let d = match qring.newest_cc(idx) {
+                    Some(cc) if cc >= h => cc + 1 - cycle,
+                    _ => 0,
+                };
+                (self.q_mem[idx], d)
+            }
+        }
+    }
+
+    /// Fast read of the Qmax entry for `s` at `cycle`.
+    #[inline(always)]
+    fn fast_read_qmax(
+        &mut self,
+        mring: &mut WriteRing<(V, Action)>,
+        idx: usize,
+        cycle: u64,
+    ) -> ((V, Action), u64) {
+        match self.config.hazard {
+            HazardMode::Forwarding => {
+                let h = self.drain_horizon_qmax.max(cycle);
+                self.drain_horizon_qmax = h;
+                if matches!(mring.newest_cc(idx), Some(cc) if cc >= h) {
+                    self.stats.forwards += 1;
+                }
+                (self.qmax_mem[idx], 0)
+            }
+            HazardMode::Ignore => {
+                let mem = &mut self.qmax_mem;
+                mring.retire_due(cycle, |a, v| mem[a] = v);
+                (self.qmax_mem[idx], 0)
+            }
+            HazardMode::StallOnly => {
+                let h = self.drain_horizon_qmax.max(cycle);
+                self.drain_horizon_qmax = h;
+                let d = match mring.newest_cc(idx) {
+                    Some(cc) if cc >= h => cc + 1 - cycle,
+                    _ => 0,
+                };
+                (self.qmax_mem[idx], d)
+            }
+        }
+    }
+
+    /// Fast-path mirror of [`read_max`](Self::read_max).
+    #[inline(always)]
+    fn fast_read_max(
+        &mut self,
+        qring: &mut WriteRing<V>,
+        mring: &mut WriteRing<(V, Action)>,
+        s: State,
+        cycle: u64,
+    ) -> (V, Action, u64) {
+        match self.config.trainer.max_mode {
+            MaxMode::QmaxArray => {
+                let ((v, a), d) = self.fast_read_qmax(mring, s as usize, cycle);
+                (v, a, d)
+            }
+            MaxMode::ExactScan => {
+                let mut delay = 0u64;
+                let (mut best_v, mut best_a) = {
+                    let (v, d) = self.fast_read_q(qring, sa_index(s, 0, self.num_actions), cycle);
+                    delay = delay.max(d);
+                    (v, 0u32)
+                };
+                for a in 1..self.num_actions as Action {
+                    let (v, d) = self.fast_read_q(
+                        qring,
+                        sa_index(s, a, self.num_actions),
+                        cycle + a as u64,
+                    );
+                    delay = delay.max(d);
+                    if v.vcmp(best_v) == core::cmp::Ordering::Greater {
+                        best_v = v;
+                        best_a = a;
+                    }
+                }
+                (best_v, best_a, delay + self.num_actions as u64 - 1)
+            }
+        }
+    }
+
+    /// Fast-path mirror of [`behavior_select`](Self::behavior_select):
+    /// identical policy dispatch and RNG draw order.
+    #[inline(always)]
+    fn fast_behavior_select(
+        &mut self,
+        qring: &mut WriteRing<V>,
+        mring: &mut WriteRing<(V, Action)>,
+        s: State,
+        cycle: u64,
+    ) -> (Action, u64) {
+        let n = self.num_actions as u32;
+        match self.config.trainer.behavior {
+            Policy::Random => (self.behavior_rng.below(n), 0),
+            Policy::Greedy => {
+                let (_, a, d) = self.fast_read_max(qring, mring, s, cycle);
+                (a, d)
+            }
+            Policy::EpsilonGreedy { epsilon } => {
+                match epsilon_greedy_draw(&mut self.behavior_rng, epsilon_to_q32(epsilon), n) {
+                    Some(a) => (a, 0),
+                    None => {
+                        let (_, a, d) = self.fast_read_max(qring, mring, s, cycle);
+                        (a, d)
+                    }
+                }
+            }
+            Policy::Boltzmann { .. } => panic!(
+                "Boltzmann behaviour policy is not synthesizable on the QRL engine; \
+                 use the probability-table bandit engine (qtaccel_accel::bandit)"
+            ),
+        }
+    }
+
+    /// Fast-path mirror of [`update_select`](Self::update_select).
+    #[inline(always)]
+    fn fast_update_select(
+        &mut self,
+        qring: &mut WriteRing<V>,
+        mring: &mut WriteRing<(V, Action)>,
+        s_next: State,
+        cycle: u64,
+    ) -> (Action, V, u64) {
+        let n = self.num_actions as u32;
+        match self.config.trainer.update {
+            Policy::Greedy => {
+                let (v, a, d) = self.fast_read_max(qring, mring, s_next, cycle);
+                (a, v, d)
+            }
+            Policy::Random => {
+                let a = self.update_rng.below(n);
+                let (v, d) =
+                    self.fast_read_q(qring, sa_index(s_next, a, self.num_actions), cycle);
+                (a, v, d)
+            }
+            Policy::EpsilonGreedy { epsilon } => {
+                match epsilon_greedy_draw(&mut self.update_rng, epsilon_to_q32(epsilon), n) {
+                    Some(a) => {
+                        let (v, d) =
+                            self.fast_read_q(qring, sa_index(s_next, a, self.num_actions), cycle);
+                        (a, v, d)
+                    }
+                    None => {
+                        let (v, a, d) = self.fast_read_max(qring, mring, s_next, cycle);
+                        (a, v, d)
+                    }
+                }
+            }
+            Policy::Boltzmann { .. } => panic!(
+                "Boltzmann update policy is not synthesizable on the QRL engine; \
+                 use the probability-table bandit engine (qtaccel_accel::bandit)"
+            ),
+        }
+    }
+
+    /// Run `n` iterations through the fast-path executor: one sample per
+    /// loop iteration, closed-form cycle accounting, no per-cycle queue
+    /// bookkeeping — and bit-identical results.
+    ///
+    /// The architectural trick: in `Forwarding` and `StallOnly` modes
+    /// every read returns the *newest* write to its address (via the
+    /// forwarding network, or because the front end stalled until the
+    /// write landed). So the fast path commits writes to memory
+    /// immediately and keeps only a [`FAST_RING`]-entry window of
+    /// `(address, commit cycle)` history to reproduce the forward counts
+    /// and stall delays the real pipeline reports. `Ignore` mode is the
+    /// one place stale values are architecturally visible, so there the
+    /// ring carries real delayed writes, drained per read — still O(1),
+    /// still allocation-free.
+    ///
+    /// Entry/exit protocols convert between the cycle-accurate pending
+    /// queues and the ring so the two executors can be interleaved freely
+    /// on one pipeline: final Q-table, Qmax table, and [`CycleStats`] are
+    /// bit-identical to [`run_samples`](Self::run_samples) (enforced by
+    /// the `fast_path` equivalence tests). One observable caveat: the raw
+    /// *committed* BRAM image may lead the cycle-accurate formulation by
+    /// up to the pipeline depth at the moment of return, which matters
+    /// only to [`inject_q_bit_flip`](Self::inject_q_bit_flip) racing an
+    /// in-flight write.
+    pub fn run_samples_fast<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
+        debug_assert_eq!(env.num_states(), self.num_states, "environment mismatch");
+        debug_assert_eq!(env.num_actions(), self.num_actions, "environment mismatch");
+
+        // The default Forwarding + Qmax-array configuration never stalls,
+        // which collapses the visibility horizons to fixed sample
+        // distances: take the window-register executor. Its fused
+        // environment image costs O(|S|·|A|) to build, so only divert
+        // once a run is long enough to amortize the build — after which
+        // the cached image makes the executor worthwhile at any length.
+        if n > 0
+            && self.config.hazard == HazardMode::Forwarding
+            && self.config.trainer.max_mode == MaxMode::QmaxArray
+            && self.num_states < (1usize << 31)
+            && (self.fast_image.is_some()
+                || n as u128 >= (self.num_states * self.num_actions) as u128)
+        {
+            return self.run_fast_forwarding_qmax(env, n);
+        }
+
+        let immediate = self.config.hazard != HazardMode::Ignore;
+
+        // Entry: fold the pending queues into the ring window. In the
+        // immediate-commit modes the values land in memory right away
+        // (memory = newest image); in Ignore mode they stay in flight.
+        let mut qring = WriteRing::<V>::new();
+        let mut mring = WriteRing::<(V, Action)>::new();
+        while let Some(p) = self.pending_q.pop_front() {
+            if immediate {
+                self.q_mem[p.addr] = p.value;
+            }
+            qring.push(p);
+        }
+        while let Some(p) = self.pending_qmax.pop_front() {
+            if immediate {
+                self.qmax_mem[p.addr] = p.value;
+            }
+            mring.push(p);
+        }
+        self.fwd_q.clear();
+        self.fwd_qmax.clear();
+
+        for _ in 0..n {
+            let c1 = self.next_c1;
+            if !immediate {
+                // Delayed-commit drain, same point as the cycle-accurate
+                // engine's per-step commit.
+                let qmem = &mut self.q_mem;
+                qring.retire_due(c1, |a, v| qmem[a] = v);
+                let mmem = &mut self.qmax_mem;
+                mring.retire_due(c1, |a, v| mmem[a] = v);
+            }
+
+            // Stage 1.
+            let (s, a, d1) = match self.carry.take() {
+                None => {
+                    let s = env.random_start(&mut self.start_rng);
+                    let (a, d) = self.fast_behavior_select(&mut qring, &mut mring, s, c1);
+                    (s, a, d)
+                }
+                Some((s, Some(a))) => (s, a, 0),
+                Some((s, None)) => {
+                    let (a, d) = self.fast_behavior_select(&mut qring, &mut mring, s, c1);
+                    (s, a, d)
+                }
+            };
+            let s_next = env.transition(s, a);
+            let r = self.rewards.get(s, a);
+            let (q_sa, dq) =
+                self.fast_read_q(&mut qring, sa_index(s, a, self.num_actions), c1 + d1);
+            let d1 = d1 + dq;
+
+            // Stage 2.
+            let c2 = c1 + d1 + 1;
+            let (a_next, q_next, d2) = self.fast_update_select(&mut qring, &mut mring, s_next, c2);
+
+            // Stage 3.
+            let q_new = self
+                .one_minus_alpha
+                .mul(q_sa)
+                .add(self.alpha_v.mul(r))
+                .add(self.alpha_gamma.mul(q_next));
+
+            // Stage 4.
+            let stalls = d1 + d2;
+            let write_cycle = c1 + stalls + WRITE_OFFSET;
+            let qaddr = sa_index(s, a, self.num_actions);
+            if immediate {
+                self.q_mem[qaddr] = q_new;
+            }
+            qring.push(Pending {
+                commit_cycle: write_cycle,
+                addr: qaddr,
+                value: q_new,
+            });
+
+            // Qmax read-modify-write.
+            let midx = s as usize;
+            let current = if immediate {
+                self.drain_horizon_qmax = self.drain_horizon_qmax.max(write_cycle);
+                self.qmax_mem[midx].0
+            } else {
+                let mmem = &mut self.qmax_mem;
+                mring.retire_due(write_cycle, |a, v| mmem[a] = v);
+                self.qmax_mem[midx].0
+            };
+            if q_new.vcmp(current) == core::cmp::Ordering::Greater {
+                if immediate {
+                    self.qmax_mem[midx] = (q_new, a);
+                }
+                debug_assert!(immediate || mring.len < FAST_RING, "qmax window overflow");
+                mring.push(Pending {
+                    commit_cycle: write_cycle,
+                    addr: midx,
+                    value: (q_new, a),
+                });
+            }
+
+            self.stats.samples += 1;
+            self.stats.stalls += stalls;
+            self.stats.cycles = write_cycle + 1;
+            self.next_c1 = c1 + stalls + 1;
+
+            self.carry = if env.is_terminal(s_next) {
+                None
+            } else {
+                Some((
+                    s_next,
+                    if self.config.trainer.forward_next_action {
+                        Some(a_next)
+                    } else {
+                        None
+                    },
+                ))
+            };
+        }
+
+        // Exit: reconstruct the pending queues so a subsequent
+        // cycle-accurate run observes the same forwarding behaviour. In
+        // the immediate-commit modes only writes still in flight relative
+        // to the next stage-1 cycle matter (older ring history is already
+        // architecturally committed); in Ignore mode every ring entry is
+        // a real uncommitted write.
+        for p in qring.iter() {
+            if !immediate || p.commit_cycle >= self.next_c1 {
+                self.pending_q.push_back(p);
+                self.fwd_q.push(p);
+            }
+        }
+        for p in mring.iter() {
+            if !immediate || p.commit_cycle >= self.next_c1 {
+                self.pending_qmax.push_back(p);
+                self.fwd_qmax.push(p);
+            }
+        }
+        self.stats
+    }
+
+    /// The window-register executor for `Forwarding` + `QmaxArray`.
+    ///
+    /// In that configuration every read delay is zero, so stage-1 issues
+    /// at consecutive cycles and every write lands exactly
+    /// [`WRITE_OFFSET`] cycles after its iteration's stage 1. The
+    /// drain-horizon visibility tests then collapse to *fixed sample
+    /// distances*:
+    ///
+    /// - a stage-1 Q read (cycle `c1`, horizon ≤ `c1`) forwards iff its
+    ///   address was written by one of the previous **3** iterations;
+    /// - a stage-2 Q read (cycle `c1 + 1`) forwards iff its address was
+    ///   written by one of the previous **2** iterations;
+    /// - a Qmax read (horizon pinned to the previous iteration's RMW at
+    ///   `c1 + 2`) forwards iff the previous iteration *improved* that
+    ///   entry.
+    ///
+    /// So the whole forwarding network reduces to three address
+    /// registers rotated once per sample — no ring scans, no cycle
+    /// arithmetic in the loop. A dense `|S|·|A|` LUT of packed
+    /// `(next_state, terminal)` words replaces the per-sample transition
+    /// call, and the ε-greedy comparator thresholds are hoisted out of
+    /// the loop; the RNG draw sequence is unchanged, so results stay
+    /// bit-identical (the `fast_path` equivalence tests run this
+    /// executor wherever the config matches).
+    fn run_fast_forwarding_qmax<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
+        debug_assert!(n > 0);
+        let na = self.num_actions;
+        let entry_c1 = self.next_c1;
+
+        // Pre-resolved policy units (identical draw order to the
+        // cycle-accurate selectors; Boltzmann is rejected exactly as
+        // behavior_select/update_select would).
+        #[derive(Clone, Copy)]
+        enum FastPolicy {
+            Random,
+            Greedy,
+            Eps(u32),
+        }
+        let resolve = |p: Policy, role: &str| match p {
+            Policy::Random => FastPolicy::Random,
+            Policy::Greedy => FastPolicy::Greedy,
+            Policy::EpsilonGreedy { epsilon } => FastPolicy::Eps(epsilon_to_q32(epsilon)),
+            Policy::Boltzmann { .. } => panic!(
+                "Boltzmann {role} policy is not synthesizable on the QRL engine; \
+                 use the probability-table bandit engine (qtaccel_accel::bandit)"
+            ),
+        };
+        let behavior = resolve(self.config.trainer.behavior, "behaviour");
+        let update = resolve(self.config.trainer.update, "update");
+        let forward_action = self.config.trainer.forward_next_action;
+
+        // Entry: commit every pending write (memory = newest image) and
+        // load the window registers from the writes still visible to the
+        // forwarding network. Invalid window slots use an address no real
+        // write can carry.
+        // Only *addresses* are tracked in the windows: every read is
+        // served by the immediately-committed tables, and every consumer
+        // of the reconstructed pending queues (forwarding lookup, in-order
+        // commit, `q_table`) observes the newest write per address — so
+        // the exit protocol can recover each window value from the
+        // committed image instead of rotating values through the loop.
+        const NO_ADDR: usize = usize::MAX;
+        let mut qw_addr = [NO_ADDR; 3]; // [0] = previous iteration
+        while let Some(p) = self.pending_q.pop_front() {
+            self.q_mem[p.addr] = p.value;
+            debug_assert!(p.commit_cycle <= entry_c1 + 2, "stall-free write bound");
+            if p.commit_cycle >= entry_c1 {
+                let slot = (entry_c1 + 2 - p.commit_cycle) as usize;
+                qw_addr[slot] = p.addr;
+            }
+        }
+        let mut mw_addr = [NO_ADDR; 3];
+        while let Some(p) = self.pending_qmax.pop_front() {
+            self.qmax_mem[p.addr] = p.value;
+            debug_assert!(p.commit_cycle <= entry_c1 + 2, "stall-free write bound");
+            if p.commit_cycle >= entry_c1 {
+                let slot = (entry_c1 + 2 - p.commit_cycle) as usize;
+                mw_addr[slot] = p.addr;
+            }
+        }
+        self.fwd_q.clear();
+        self.fwd_qmax.clear();
+
+        // Build the fused environment image on first use (see
+        // [`FastCell`]); afterwards only the Q column needs a linear
+        // resync from the freshly committed `q_mem`.
+        if self.fast_image.is_none() {
+            let mut cells = Vec::with_capacity(self.num_states * na);
+            for s in 0..self.num_states as State {
+                for a in 0..na as Action {
+                    let t = env.transition(s, a);
+                    cells.push(FastCell {
+                        next_packed: t | if env.is_terminal(t) { TERMINAL_BIT } else { 0 },
+                        reward: self.rewards.get(s, a),
+                        q: V::zero(),
+                    });
+                }
+            }
+            self.fast_image = Some(cells);
+        }
+        let cells = self.fast_image.as_mut().expect("image just ensured");
+        for (c, &q) in cells.iter_mut().zip(self.q_mem.iter()) {
+            c.q = q;
+        }
+        let cells = &mut cells[..];
+
+        let mut carry = self.carry.take();
+        let mut forwards = 0u64;
+        // Did the final iteration's update policy read the Q BRAM (rather
+        // than the Qmax array)? Decides the exit Q-read horizon.
+        let mut last_update_read_q = false;
+
+        let qmax = &mut self.qmax_mem[..];
+        let (one_minus_alpha, alpha_v, alpha_gamma) =
+            (self.one_minus_alpha, self.alpha_v, self.alpha_gamma);
+
+        // Two-ahead unrolled views of the policy RNGs (bit-identical
+        // streams, half the serial leap latency per draw); collapsed back
+        // into the registers at exit.
+        let mut behavior_rng = Lfsr32Unrolled::new(&self.behavior_rng);
+        let mut update_rng = Lfsr32Unrolled::new(&self.update_rng);
+
+        for _ in 0..n {
+            // Stage 1: state + behaviour action.
+            let (s, carried_a) = match carry.take() {
+                None => (env.random_start(&mut self.start_rng), None),
+                Some((s, a)) => (s, a),
+            };
+            let a = match carried_a {
+                Some(a) => a,
+                None => match behavior {
+                    FastPolicy::Random => {
+                        ((behavior_rng.next_u32() as u64 * na as u64) >> 32) as u32
+                    }
+                    FastPolicy::Greedy => {
+                        forwards += u64::from(mw_addr[0] == s as usize);
+                        qmax[s as usize].1
+                    }
+                    FastPolicy::Eps(thr) => {
+                        let x = behavior_rng.next_u32();
+                        if x < thr {
+                            ((x as u64 * na as u64) / thr as u64) as u32
+                        } else {
+                            forwards += u64::from(mw_addr[0] == s as usize);
+                            qmax[s as usize].1
+                        }
+                    }
+                },
+            };
+            let qaddr = s as usize * na + a as usize;
+            let cell = cells[qaddr];
+            let packed = cell.next_packed;
+            let s_next = packed & !TERMINAL_BIT;
+            forwards += u64::from(
+                qaddr == qw_addr[0] || qaddr == qw_addr[1] || qaddr == qw_addr[2],
+            );
+
+            // Stage 2: update selection one cycle later, so only the two
+            // youngest Q writes are still in flight.
+            let read_q2 = |rng: &mut Lfsr32Unrolled, x: Option<u32>, thr: u32| {
+                let an = match x {
+                    Some(x) => ((x as u64 * na as u64) / thr as u64) as u32,
+                    None => ((rng.next_u32() as u64 * na as u64) >> 32) as u32,
+                };
+                (an, sa_index(s_next, an, na))
+            };
+            let (a_next, q_next) = match update {
+                FastPolicy::Greedy => {
+                    last_update_read_q = false;
+                    forwards += u64::from(mw_addr[0] == s_next as usize);
+                    let (v, an) = qmax[s_next as usize];
+                    (an, v)
+                }
+                FastPolicy::Random => {
+                    let (an, addr) = read_q2(&mut update_rng, None, 0);
+                    last_update_read_q = true;
+                    forwards += u64::from(addr == qw_addr[0] || addr == qw_addr[1]);
+                    (an, cells[addr].q)
+                }
+                FastPolicy::Eps(thr) => {
+                    let x = update_rng.next_u32();
+                    if x < thr {
+                        let (an, addr) = read_q2(&mut update_rng, Some(x), thr);
+                        last_update_read_q = true;
+                        forwards += u64::from(addr == qw_addr[0] || addr == qw_addr[1]);
+                        (an, cells[addr].q)
+                    } else {
+                        last_update_read_q = false;
+                        forwards += u64::from(mw_addr[0] == s_next as usize);
+                        let (v, an) = qmax[s_next as usize];
+                        (an, v)
+                    }
+                }
+            };
+
+            // Stage 3: Eq. (3).
+            let q_new = one_minus_alpha
+                .mul(cell.q)
+                .add(alpha_v.mul(cell.reward))
+                .add(alpha_gamma.mul(q_next));
+
+            // Stage 4: writeback + Qmax RMW, then age the address windows.
+            cells[qaddr].q = q_new;
+            qw_addr[2] = qw_addr[1];
+            qw_addr[1] = qw_addr[0];
+            qw_addr[0] = qaddr;
+
+            mw_addr[2] = mw_addr[1];
+            mw_addr[1] = mw_addr[0];
+            if q_new.vcmp(qmax[s as usize].0) == core::cmp::Ordering::Greater {
+                qmax[s as usize] = (q_new, a);
+                mw_addr[0] = s as usize;
+            } else {
+                mw_addr[0] = NO_ADDR;
+            }
+
+            carry = if packed & TERMINAL_BIT != 0 {
+                None
+            } else {
+                Some((s_next, if forward_action { Some(a_next) } else { None }))
+            };
+        }
+
+        // Write the live Q column back into the committed BRAM image and
+        // resynchronise the serial RNG registers.
+        for (dst, c) in self.q_mem.iter_mut().zip(cells.iter()) {
+            *dst = c.q;
+        }
+        self.behavior_rng = behavior_rng.into_lfsr();
+        self.update_rng = update_rng.into_lfsr();
+
+        // Exit: closed-form cycle accounting and pending-queue
+        // reconstruction, so a subsequent cycle-accurate run (or the
+        // general fast path) observes identical state.
+        self.carry = carry;
+        let end_c1 = entry_c1 + n;
+        self.next_c1 = end_c1;
+        self.stats.samples += n;
+        self.stats.forwards += forwards;
+        self.stats.cycles = end_c1 - 1 + WRITE_OFFSET + 1;
+        self.drain_horizon_q = end_c1 - 1 + u64::from(last_update_read_q);
+        self.drain_horizon_qmax = end_c1 - 1 + WRITE_OFFSET;
+        // Window values are recovered from the committed tables: if one
+        // address appears in two slots the older entry also gets the
+        // newest value, which is unobservable — forwarding and `q_table`
+        // read the newest writer per address, and in-order commit makes
+        // the newest value land last regardless.
+        for slot in (0..3).rev() {
+            if qw_addr[slot] != NO_ADDR {
+                let p = Pending {
+                    commit_cycle: end_c1 + 2 - slot as u64,
+                    addr: qw_addr[slot],
+                    value: self.q_mem[qw_addr[slot]],
+                };
+                self.pending_q.push_back(p);
+                self.fwd_q.push(p);
+            }
+            if mw_addr[slot] != NO_ADDR {
+                let p = Pending {
+                    commit_cycle: end_c1 + 2 - slot as u64,
+                    addr: mw_addr[slot],
+                    value: self.qmax_mem[mw_addr[slot]],
+                };
+                self.pending_qmax.push_back(p);
+                self.fwd_qmax.push(p);
+            }
         }
         self.stats
     }
@@ -647,5 +1581,118 @@ mod tests {
         cfg.trainer.behavior = Policy::Boltzmann { temperature: 1.0 };
         let mut p = AccelPipeline::<Q8_8>::new(&g, cfg, 0);
         p.step(&g);
+    }
+
+    /// Every CycleStats counter pinned to the values the scan-per-read,
+    /// drain-per-read formulation produced (captured from the
+    /// pre-refactor engine). Guards the O(1) forwarding index and the
+    /// per-step commit point against any silent accounting drift, in
+    /// every hazard mode.
+    #[test]
+    fn hazard_mode_cycle_stats_are_pinned() {
+        struct Gold {
+            w: u32,
+            h: u32,
+            seed: u64,
+            hazard: HazardMode,
+            n: u64,
+            cycles: u64,
+            stalls: u64,
+            forwards: u64,
+        }
+        let golds = [
+            Gold { w: 2, h: 2, seed: 21, hazard: HazardMode::Forwarding, n: 7_000, cycles: 7_003, stalls: 0, forwards: 1_859 },
+            Gold { w: 4, h: 4, seed: 9, hazard: HazardMode::Forwarding, n: 12_000, cycles: 12_003, stalls: 0, forwards: 1_714 },
+            Gold { w: 8, h: 8, seed: 5, hazard: HazardMode::Forwarding, n: 20_000, cycles: 20_003, stalls: 0, forwards: 2_433 },
+            Gold { w: 2, h: 2, seed: 21, hazard: HazardMode::StallOnly, n: 7_000, cycles: 10_853, stalls: 3_850, forwards: 0 },
+            Gold { w: 4, h: 4, seed: 9, hazard: HazardMode::StallOnly, n: 12_000, cycles: 15_351, stalls: 3_348, forwards: 0 },
+            Gold { w: 8, h: 8, seed: 5, hazard: HazardMode::StallOnly, n: 20_000, cycles: 24_312, stalls: 4_309, forwards: 0 },
+            Gold { w: 2, h: 2, seed: 21, hazard: HazardMode::Ignore, n: 7_000, cycles: 7_003, stalls: 0, forwards: 0 },
+            Gold { w: 4, h: 4, seed: 9, hazard: HazardMode::Ignore, n: 12_000, cycles: 12_003, stalls: 0, forwards: 0 },
+            Gold { w: 8, h: 8, seed: 5, hazard: HazardMode::Ignore, n: 20_000, cycles: 20_003, stalls: 0, forwards: 0 },
+        ];
+        for g in &golds {
+            let env = GridWorld::builder(g.w, g.h).goal(g.w - 1, g.h - 1).build();
+            let cfg = AccelConfig::default().with_seed(g.seed).with_hazard(g.hazard);
+            let mut p = AccelPipeline::<Q8_8>::new(&env, cfg, 0);
+            let stats = p.run_samples(&env, g.n);
+            assert_eq!(
+                (stats.cycles, stats.stalls, stats.forwards, stats.fill_bubbles),
+                (g.cycles, g.stalls, g.forwards, FILL),
+                "{}x{} seed {} {:?}",
+                g.w, g.h, g.seed, g.hazard
+            );
+        }
+
+        // SARSA exercises the ε-greedy stage-2 Q read path.
+        let env = GridWorld::builder(4, 4).goal(3, 3).build();
+        for (hazard, cycles, stalls) in [
+            (HazardMode::StallOnly, 18_168u64, 3_165u64),
+            (HazardMode::Ignore, 15_003, 0),
+        ] {
+            let mut cfg = AccelConfig::default().with_hazard(hazard);
+            cfg.trainer = TrainerConfig::sarsa(0.2).with_seed(17);
+            cfg.hazard = hazard;
+            let mut p = AccelPipeline::<Q8_8>::new(&env, cfg, 0);
+            let stats = p.run_samples(&env, 15_000);
+            assert_eq!((stats.cycles, stats.stalls), (cycles, stalls), "sarsa {hazard:?}");
+        }
+
+        // ExactScan exercises the multi-cycle stage-2 row scan.
+        let cfg = AccelConfig::default()
+            .with_seed(13)
+            .with_hazard(HazardMode::StallOnly)
+            .with_max_mode(MaxMode::ExactScan);
+        let mut p = AccelPipeline::<Q8_8>::new(&env, cfg, 0);
+        let stats = p.run_samples(&env, 8_000);
+        assert_eq!((stats.cycles, stats.stalls), (34_617, 26_614), "exact-scan stall-only");
+    }
+
+    /// The O(1) forwarding index must agree with a linear newest-writer
+    /// scan of the queue for arbitrary push/retire interleavings —
+    /// including addresses chosen to alias in the direct-mapped slots.
+    #[test]
+    fn index_matches_linear_scan() {
+        let mut rng = Lfsr32::new(0xDEAD_BEEF);
+        // 97 addresses over 64 slots: aliasing guaranteed.
+        const ADDRS: usize = 97;
+        let mut queue: VecDeque<Pending<u64>> = VecDeque::new();
+        let mut index: FwdIndex<u64> = FwdIndex::new();
+        let mut next_cc = 0u64;
+        for op in 0..50_000u64 {
+            match rng.below(3) {
+                0 | 1 => {
+                    // Push with strictly increasing commit cycles (the
+                    // queue invariant the index relies on).
+                    next_cc += 1 + rng.below(3) as u64;
+                    let p = Pending {
+                        commit_cycle: next_cc,
+                        addr: rng.below(ADDRS as u32) as usize,
+                        value: op,
+                    };
+                    queue.push_back(p);
+                    index.push(p);
+                }
+                _ => {
+                    if let Some(p) = queue.pop_front() {
+                        index.retire(p.addr);
+                    }
+                }
+            }
+            // Cross-check the index against the model on a probe address.
+            let probe = rng.below(ADDRS as u32) as usize;
+            let model = queue.iter().rev().find(|p| p.addr == probe).copied();
+            let got = match index.newest(probe) {
+                FwdHit::Miss => None,
+                FwdHit::Newest(p) => Some(p),
+                FwdHit::Aliased => queue.iter().rev().find(|p| p.addr == probe).copied(),
+            };
+            assert_eq!(got, model, "op {op} probe {probe}");
+            // A slot hit must never silently shadow a different address.
+            if let FwdHit::Newest(p) = index.newest(probe) {
+                assert_eq!(p.addr, probe);
+            }
+        }
+        assert!(!queue.is_empty(), "interleaving should leave in-flight writes");
     }
 }

@@ -43,6 +43,13 @@ impl<V: QValue> SarsaAccel<V> {
         self.pipe.run_samples(env, n)
     }
 
+    /// Run `n` Q-value updates through the fast-path executor — results
+    /// bit-identical to [`train_samples`](Self::train_samples), host
+    /// throughput much higher (see `AccelPipeline::run_samples_fast`).
+    pub fn train_samples_fast<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
+        self.pipe.run_samples_fast(env, n)
+    }
+
     /// One update, exposed for tracing.
     pub fn step<E: Environment>(&mut self, env: &E) -> Transition<V> {
         self.pipe.step(env)

@@ -1,6 +1,7 @@
-//! Criterion benches: the hardware component models in isolation.
+//! The hardware component models in isolation. Plain `main()` timer —
+//! no criterion. Run with `cargo bench --bench components`.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qtaccel_bench::timing::bench;
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{MaxMode, QTable, QmaxTable};
 use qtaccel_fixed::{QValue, Q16_16, Q8_8};
@@ -9,70 +10,80 @@ use qtaccel_hdl::lfsr::{Lfsr32, NormalLfsr};
 use qtaccel_hdl::rng::RngSource;
 use std::hint::black_box;
 
-fn bench_fixed(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fixed");
+const OPS: u64 = 100_000;
+const RUNS: usize = 10;
+
+fn main() {
+    println!("== fixed-point datapath ==");
     let a8 = Q8_8::from_f64(1.25);
     let b8 = Q8_8::from_f64(-2.5);
-    group.bench_function("q8_8/mul_add", |b| {
-        b.iter(|| black_box(a8).sat_mul(black_box(b8)).sat_add(black_box(a8)))
+    let r = bench("q8_8/mul_add", OPS, RUNS, || {
+        for _ in 0..OPS {
+            black_box(black_box(a8).sat_mul(black_box(b8)).sat_add(black_box(a8)));
+        }
     });
+    println!("{}", r.summary());
     let a16 = Q16_16::from_f64(1.25);
     let b16 = Q16_16::from_f64(-2.5);
-    group.bench_function("q16_16/mul_add", |b| {
-        b.iter(|| black_box(a16).sat_mul(black_box(b16)).sat_add(black_box(a16)))
+    let r = bench("q16_16/mul_add", OPS, RUNS, || {
+        for _ in 0..OPS {
+            black_box(black_box(a16).sat_mul(black_box(b16)).sat_add(black_box(a16)));
+        }
     });
-    group.bench_function("q8_8/eq3_update", |b| {
-        let alpha = Q8_8::from_f64(0.5);
-        let r = Q8_8::from_f64(1.0);
-        b.iter(|| {
-            alpha
-                .one_minus()
-                .mul(black_box(a8))
-                .add(alpha.mul(black_box(r)))
-                .add(alpha.mul(black_box(b8)))
-        })
+    println!("{}", r.summary());
+    let alpha = Q8_8::from_f64(0.5);
+    let rew = Q8_8::from_f64(1.0);
+    let r = bench("q8_8/eq3_update", OPS, RUNS, || {
+        for _ in 0..OPS {
+            black_box(
+                alpha
+                    .one_minus()
+                    .mul(black_box(a8))
+                    .add(alpha.mul(black_box(rew)))
+                    .add(alpha.mul(black_box(b8))),
+            );
+        }
     });
-    group.finish();
-}
+    println!("{}", r.summary());
 
-fn bench_lfsr(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lfsr");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("lfsr32/step", |b| {
-        let mut l = Lfsr32::new(1);
-        b.iter(|| l.step())
+    println!("== LFSR units ==");
+    let mut l = Lfsr32::new(1);
+    let r = bench("lfsr32/step", OPS, RUNS, || {
+        for _ in 0..OPS {
+            black_box(l.step());
+        }
     });
-    group.bench_function("lfsr32/next_u32_leap", |b| {
-        let mut l = Lfsr32::new(1);
-        b.iter(|| l.next_u32())
+    println!("{}", r.summary());
+    let mut l = Lfsr32::new(1);
+    let r = bench("lfsr32/next_u32_leap", OPS, RUNS, || {
+        for _ in 0..OPS {
+            black_box(l.next_u32());
+        }
     });
-    group.bench_function("normal/sample", |b| {
-        let mut n = NormalLfsr::new(1);
-        b.iter(|| n.sample_standard())
+    println!("{}", r.summary());
+    let mut n = NormalLfsr::new(1);
+    let r = bench("normal/sample", OPS, RUNS, || {
+        for _ in 0..OPS {
+            black_box(n.sample_standard());
+        }
     });
-    group.finish();
-}
+    println!("{}", r.summary());
 
-fn bench_bram(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bram");
-    group.throughput(Throughput::Elements(1));
-    group.bench_function("read_write_tick", |b| {
-        let mut m = Bram::<u32>::new(4096, 16);
-        let mut i = 0usize;
-        b.iter(|| {
+    println!("== BRAM model ==");
+    let mut m = Bram::<u32>::new(4096, 16);
+    let mut i = 0usize;
+    let r = bench("bram/read_write_tick", OPS, RUNS, || {
+        for _ in 0..OPS {
             m.issue_read(BramPort::A, i & 4095);
             m.issue_write(BramPort::B, (i + 1) & 4095, i as u32);
             m.tick();
             i += 1;
-            m.read_data(BramPort::A)
-        })
+            black_box(m.read_data(BramPort::A));
+        }
     });
-    group.finish();
-}
+    println!("{}", r.summary());
 
-fn bench_policies(c: &mut Criterion) {
-    let mut group = c.benchmark_group("policy");
-    group.throughput(Throughput::Elements(1));
+    println!("== policy units ==");
     let mut q = QTable::<Q8_8>::new(256, 8);
     for s in 0..256u32 {
         for a in 0..8u32 {
@@ -87,18 +98,14 @@ fn bench_policies(c: &mut Criterion) {
         ("eps_greedy", Policy::EpsilonGreedy { epsilon: 0.1 }),
         ("boltzmann", Policy::Boltzmann { temperature: 1.0 }),
     ] {
-        group.bench_function(name, |b| {
-            let mut rng = Lfsr32::new(7);
-            let mut s = 0u32;
-            b.iter(|| {
-                let a = policy.select(&q, &qmax, MaxMode::QmaxArray, s, &mut rng);
+        let mut rng = Lfsr32::new(7);
+        let mut s = 0u32;
+        let r = bench(&format!("policy/{name}"), OPS, RUNS, || {
+            for _ in 0..OPS {
+                black_box(policy.select(&q, &qmax, MaxMode::QmaxArray, s, &mut rng));
                 s = (s + 1) & 255;
-                a
-            })
+            }
         });
+        println!("{}", r.summary());
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fixed, bench_lfsr, bench_bram, bench_policies);
-criterion_main!(benches);

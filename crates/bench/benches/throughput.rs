@@ -1,51 +1,51 @@
-//! Criterion benches: host-side simulation rate of the accelerator
-//! models (how many *simulated hardware cycles* per host second), across
-//! the Table I sizes and the multi-pipeline configurations.
+//! Host-side simulation rate of the accelerator models (how many
+//! simulated samples per host second), across Table I sizes and the
+//! multi-pipeline configurations. Plain `main()` timer — the workspace
+//! builds dependency-free, so no criterion. Run with
+//! `cargo bench --bench throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qtaccel_accel::{AccelConfig, DualPipelineShared, QLearningAccel, SarsaAccel};
 use qtaccel_bench::grids::paper_grid;
+use qtaccel_bench::timing::bench;
 use qtaccel_fixed::Q8_8;
 
 const SAMPLES_PER_ITER: u64 = 10_000;
+const RUNS: usize = 10;
 
-fn bench_qlearning_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/qlearning");
-    group.throughput(Throughput::Elements(SAMPLES_PER_ITER));
-    group.sample_size(10);
+fn main() {
+    println!("== sim/qlearning (cycle-accurate vs fast path) ==");
     for states in [64usize, 4096, 262_144] {
         let g = paper_grid(states, 8);
-        group.bench_with_input(BenchmarkId::from_parameter(states), &g, |b, g| {
-            let mut accel = QLearningAccel::<Q8_8>::new(g, AccelConfig::default());
-            b.iter(|| accel.train_samples(g, SAMPLES_PER_ITER));
+        let mut accel = QLearningAccel::<Q8_8>::new(&g, AccelConfig::default());
+        let r = bench(&format!("qlearning/{states}/cycle"), SAMPLES_PER_ITER, RUNS, || {
+            accel.train_samples(&g, SAMPLES_PER_ITER);
         });
+        println!("{}", r.summary());
+        let mut accel = QLearningAccel::<Q8_8>::new(&g, AccelConfig::default());
+        let r = bench(&format!("qlearning/{states}/fast"), SAMPLES_PER_ITER, RUNS, || {
+            accel.train_samples_fast(&g, SAMPLES_PER_ITER);
+        });
+        println!("{}", r.summary());
     }
-    group.finish();
-}
 
-fn bench_sarsa(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/sarsa");
-    group.throughput(Throughput::Elements(SAMPLES_PER_ITER));
-    group.sample_size(10);
+    println!("== sim/sarsa ==");
     let g = paper_grid(4096, 8);
-    group.bench_function("4096", |b| {
-        let mut accel = SarsaAccel::<Q8_8>::new(&g, AccelConfig::default(), 0.1);
-        b.iter(|| accel.train_samples(&g, SAMPLES_PER_ITER));
+    let mut accel = SarsaAccel::<Q8_8>::new(&g, AccelConfig::default(), 0.1);
+    let r = bench("sarsa/4096/cycle", SAMPLES_PER_ITER, RUNS, || {
+        accel.train_samples(&g, SAMPLES_PER_ITER);
     });
-    group.finish();
-}
+    println!("{}", r.summary());
+    let mut accel = SarsaAccel::<Q8_8>::new(&g, AccelConfig::default(), 0.1);
+    let r = bench("sarsa/4096/fast", SAMPLES_PER_ITER, RUNS, || {
+        accel.train_samples_fast(&g, SAMPLES_PER_ITER);
+    });
+    println!("{}", r.summary());
 
-fn bench_dual_pipeline(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim/dual");
-    group.throughput(Throughput::Elements(2 * SAMPLES_PER_ITER));
-    group.sample_size(10);
+    println!("== sim/dual (2 samples per cycle) ==");
     let g = paper_grid(4096, 4);
-    group.bench_function("4096", |b| {
-        let mut dual = DualPipelineShared::<Q8_8>::new(&g, AccelConfig::default());
-        b.iter(|| dual.train_cycles(&g, SAMPLES_PER_ITER));
+    let mut dual = DualPipelineShared::<Q8_8>::new(&g, AccelConfig::default());
+    let r = bench("dual/4096", 2 * SAMPLES_PER_ITER, RUNS, || {
+        dual.train_cycles(&g, SAMPLES_PER_ITER);
     });
-    group.finish();
+    println!("{}", r.summary());
 }
-
-criterion_group!(benches, bench_qlearning_sizes, bench_sarsa, bench_dual_pipeline);
-criterion_main!(benches);

@@ -1,47 +1,48 @@
-//! Criterion benches: software trainers and CPU baselines — the
-//! measured side of Table II.
+//! Software trainers and CPU baselines — the measured side of
+//! Table II. Plain `main()` timer — no criterion. Run with
+//! `cargo bench --bench trainers`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use qtaccel_baseline::{CpuBaseline, CpuKind};
 use qtaccel_bench::grids::paper_grid;
+use qtaccel_bench::timing::bench;
 use qtaccel_core::trainer::q_learning;
 use qtaccel_fixed::Q8_8;
 
 const SAMPLES_PER_ITER: u64 = 10_000;
+const RUNS: usize = 10;
 
-fn bench_reference_trainer(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trainer/reference");
-    group.throughput(Throughput::Elements(SAMPLES_PER_ITER));
-    group.sample_size(10);
+fn main() {
+    println!("== reference trainer ==");
     for states in [1024usize, 65_536] {
         let g = paper_grid(states, 4);
-        group.bench_with_input(BenchmarkId::new("q8_8", states), &g, |b, g| {
-            let mut t = q_learning::<Q8_8, _>(g.clone(), 1);
-            b.iter(|| t.run_samples(SAMPLES_PER_ITER));
-        });
+        let mut t = q_learning::<Q8_8, _>(g.clone(), 1);
+        let r = bench(
+            &format!("reference/q8_8/{states}"),
+            SAMPLES_PER_ITER,
+            RUNS,
+            || {
+                t.run_samples(SAMPLES_PER_ITER);
+            },
+        );
+        println!("{}", r.summary());
     }
-    group.finish();
-}
 
-fn bench_cpu_baselines(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trainer/cpu");
-    group.throughput(Throughput::Elements(SAMPLES_PER_ITER));
-    group.sample_size(10);
+    println!("== CPU baselines ==");
     for states in [1024usize, 65_536] {
         for (name, kind) in [("dict", CpuKind::NestedDict), ("dense", CpuKind::DenseArray)] {
             let g = paper_grid(states, 4);
-            group.bench_with_input(BenchmarkId::new(name, states), &g, |b, g| {
-                let mut cpu = CpuBaseline::new(g.clone(), kind, 1);
-                b.iter(|| {
+            let mut cpu = CpuBaseline::new(g.clone(), kind, 1);
+            let r = bench(
+                &format!("cpu/{name}/{states}"),
+                SAMPLES_PER_ITER,
+                RUNS,
+                || {
                     for _ in 0..SAMPLES_PER_ITER {
                         cpu.step();
                     }
-                });
-            });
+                },
+            );
+            println!("{}", r.summary());
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_reference_trainer, bench_cpu_baselines);
-criterion_main!(benches);

@@ -16,10 +16,9 @@ use qtaccel_accel::{AccelConfig, HazardMode, QLearningAccel};
 use qtaccel_core::eval::step_optimality;
 use qtaccel_core::qtable::MaxMode;
 use qtaccel_envs::GridWorld;
-use serde::Serialize;
 
 /// One hazard-mode measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HazardRow {
     /// Grid states.
     pub states: usize,
@@ -38,7 +37,7 @@ pub struct HazardRow {
 }
 
 /// The hazard ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct HazardAblation {
     /// One row per (grid size, mode).
     pub rows: Vec<HazardRow>,
@@ -113,7 +112,7 @@ impl HazardAblation {
 }
 
 /// One Qmax-mode measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QmaxRow {
     /// Actions in the grid.
     pub actions: usize,
@@ -128,7 +127,7 @@ pub struct QmaxRow {
 }
 
 /// The Qmax ablation.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QmaxAblation {
     /// One row per (|A|, mode).
     pub rows: Vec<QmaxRow>,
@@ -179,6 +178,11 @@ impl QmaxAblation {
         )
     }
 }
+
+crate::impl_to_json!(HazardRow { states, mode, samples_per_cycle, stalls, forwards, values_match_forwarding, optimality });
+crate::impl_to_json!(HazardAblation { rows });
+crate::impl_to_json!(QmaxRow { actions, mode, samples_per_cycle, msps, optimality });
+crate::impl_to_json!(QmaxAblation { rows });
 
 #[cfg(test)]
 mod tests {

@@ -12,10 +12,9 @@ use crate::report::render_table;
 use qtaccel_accel::{AccelConfig, DualPipelineShared, QLearningAccel, SarsaAccel};
 use qtaccel_core::eval::step_optimality;
 use qtaccel_envs::GridWorld;
-use serde::Serialize;
 
 /// One learning curve: (cycles, step-optimality) checkpoints.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Curve {
     /// Configuration label.
     pub label: String,
@@ -35,7 +34,7 @@ impl Curve {
 }
 
 /// The convergence experiment result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Convergence {
     /// All measured curves.
     pub curves: Vec<Curve>,
@@ -135,6 +134,9 @@ impl Convergence {
         out
     }
 }
+
+crate::impl_to_json!(Curve { label, points });
+crate::impl_to_json!(Convergence { curves });
 
 #[cfg(test)]
 mod tests {

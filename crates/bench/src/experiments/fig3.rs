@@ -4,10 +4,9 @@ use crate::paper::TABLE1_STATES;
 use crate::report::{fmt_pct, render_table};
 use qtaccel_accel::resources::{analyze, AccelResources, EngineKind};
 use qtaccel_accel::AccelConfig;
-use serde::Serialize;
 
 /// One sweep row.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ResourceRow {
     /// Number of states.
     pub states: usize,
@@ -32,7 +31,7 @@ pub struct ResourceRow {
 }
 
 /// The resource sweep result for one engine kind.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResourceSweep {
     /// Engine name.
     pub engine: String,
@@ -98,6 +97,9 @@ impl ResourceSweep {
         )
     }
 }
+
+crate::impl_to_json!(ResourceRow { states, dsp, dsp_pct, ff, ff_pct, lut, bram_pct, power_mw, fmax_mhz });
+crate::impl_to_json!(ResourceSweep { engine, rows });
 
 #[cfg(test)]
 mod tests {

@@ -3,10 +3,9 @@
 use crate::paper::FIG4_BRAM_PCT;
 use crate::report::{fmt_pct, render_table};
 use qtaccel_accel::resources::EngineKind;
-use serde::Serialize;
 
 /// One BRAM row with the paper's reported value alongside.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BramRow {
     /// Number of states.
     pub states: usize,
@@ -19,7 +18,7 @@ pub struct BramRow {
 }
 
 /// The Fig. 4 comparison.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig4 {
     /// One row per Table I size (|A| = 8).
     pub rows: Vec<BramRow>,
@@ -70,6 +69,9 @@ impl Fig4 {
         )
     }
 }
+
+crate::impl_to_json!(BramRow { states, blocks, model_pct, paper_pct });
+crate::impl_to_json!(Fig4 { rows });
 
 #[cfg(test)]
 mod tests {

@@ -8,11 +8,10 @@
 
 use super::fig3::{sweep, ResourceSweep};
 use qtaccel_accel::resources::EngineKind;
-use serde::Serialize;
 
 /// The Fig. 5 result: the SARSA sweep plus the Q-Learning deltas the
 /// paper calls out.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig5 {
     /// The SARSA resource sweep.
     pub sarsa: ResourceSweep,
@@ -50,6 +49,8 @@ impl Fig5 {
         out
     }
 }
+
+crate::impl_to_json!(Fig5 { sarsa, extra_ff_vs_qlearning, extra_power_mw });
 
 #[cfg(test)]
 mod tests {

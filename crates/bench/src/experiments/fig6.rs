@@ -10,11 +10,9 @@ use crate::paper::{FIG6_THROUGHPUT_MSPS, TABLE1_STATES};
 use crate::report::render_table;
 use qtaccel_accel::{AccelConfig, QLearningAccel, SarsaAccel};
 use qtaccel_fixed::Q8_8;
-use rayon::prelude::*;
-use serde::Serialize;
 
 /// One throughput row.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ThroughputRow {
     /// Number of states.
     pub states: usize,
@@ -31,7 +29,7 @@ pub struct ThroughputRow {
 }
 
 /// The Fig. 6 sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig6 {
     /// One row per Table I size.
     pub rows: Vec<ThroughputRow>,
@@ -44,31 +42,38 @@ pub fn run(samples: u64, max_states: usize) -> Fig6 {
         .copied()
         .filter(|&s| s <= max_states)
         .collect();
-    // Points are independent: sweep them on parallel host threads.
-    let rows = sizes
-        .par_iter()
-        .map(|&states| {
-            let g = paper_grid(states, 8);
-            let mut ql = QLearningAccel::<Q8_8>::new(&g, AccelConfig::default());
-            ql.train_samples(&g, samples);
-            let rq = ql.resources();
-            let mut sa = SarsaAccel::<Q8_8>::new(&g, AccelConfig::default(), 0.1);
-            sa.train_samples(&g, samples);
-            let rs = sa.resources();
-            ThroughputRow {
-                states,
-                ql_samples_per_cycle: ql.stats().samples_per_cycle(),
-                ql_msps: rq.throughput_msps,
-                sarsa_samples_per_cycle: sa.stats().samples_per_cycle(),
-                sarsa_msps: rs.throughput_msps,
-                paper_msps: FIG6_THROUGHPUT_MSPS
-                    .iter()
-                    .find(|(s, _)| *s == states)
-                    .and_then(|(_, p)| *p),
-            }
-        })
-        .collect();
-    Fig6 { rows }
+    // Points are independent: sweep them on parallel host threads. The
+    // simulation itself runs through the fast-path executor — the cycle
+    // counters it reports are bit-identical to the cycle-accurate engine
+    // (enforced by the accel crate's equivalence suite).
+    let mut rows: Vec<Option<ThroughputRow>> = vec![None; sizes.len()];
+    std::thread::scope(|scope| {
+        for (slot, &states) in rows.iter_mut().zip(&sizes) {
+            scope.spawn(move || {
+                let g = paper_grid(states, 8);
+                let mut ql = QLearningAccel::<Q8_8>::new(&g, AccelConfig::default());
+                ql.train_samples_fast(&g, samples);
+                let rq = ql.resources();
+                let mut sa = SarsaAccel::<Q8_8>::new(&g, AccelConfig::default(), 0.1);
+                sa.train_samples_fast(&g, samples);
+                let rs = sa.resources();
+                *slot = Some(ThroughputRow {
+                    states,
+                    ql_samples_per_cycle: ql.stats().samples_per_cycle(),
+                    ql_msps: rq.throughput_msps,
+                    sarsa_samples_per_cycle: sa.stats().samples_per_cycle(),
+                    sarsa_msps: rs.throughput_msps,
+                    paper_msps: FIG6_THROUGHPUT_MSPS
+                        .iter()
+                        .find(|(s, _)| *s == states)
+                        .and_then(|(_, p)| *p),
+                });
+            });
+        }
+    });
+    Fig6 {
+        rows: rows.into_iter().map(|r| r.expect("sweep point ran")).collect(),
+    }
 }
 
 impl Fig6 {
@@ -97,6 +102,9 @@ impl Fig6 {
         )
     }
 }
+
+crate::impl_to_json!(ThroughputRow { states, ql_samples_per_cycle, ql_msps, sarsa_samples_per_cycle, sarsa_msps, paper_msps });
+crate::impl_to_json!(Fig6 { rows });
 
 #[cfg(test)]
 mod tests {

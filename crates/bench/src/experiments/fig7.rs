@@ -16,10 +16,9 @@ use qtaccel_baseline::fsm_array::{FsmArrayBaseline, FSM_CYCLES_PER_SAMPLE};
 use qtaccel_envs::GridWorld;
 use qtaccel_hdl::bram::blocks_for;
 use qtaccel_hdl::resource::{Device, ResourceReport};
-use serde::Serialize;
 
 /// One multiplier-count comparison point.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct MultiplierRow {
     /// Number of states.
     pub states: usize,
@@ -32,7 +31,7 @@ pub struct MultiplierRow {
 }
 
 /// The §VI-F scalability comparison.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ScalabilityComparison {
     /// Max states for QTAccel on the Virtex-7 690T (BRAM-bound).
     pub qtaccel_max_states: usize,
@@ -49,7 +48,7 @@ pub struct ScalabilityComparison {
 }
 
 /// The full Fig. 7 / §VI-F result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig7 {
     /// The multiplier bars.
     pub multipliers: Vec<MultiplierRow>,
@@ -145,6 +144,10 @@ impl Fig7 {
         out
     }
 }
+
+crate::impl_to_json!(MultiplierRow { states, actions, qtaccel, baseline });
+crate::impl_to_json!(ScalabilityComparison { qtaccel_max_states, baseline_max_states, qtaccel_msps, baseline_msps, speedup, capacity_ratio });
+crate::impl_to_json!(Fig7 { multipliers, scalability });
 
 #[cfg(test)]
 mod tests {

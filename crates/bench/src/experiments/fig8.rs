@@ -13,10 +13,9 @@ use qtaccel_accel::{AccelConfig, DualPipelineShared, QLearningAccel};
 use qtaccel_core::eval::step_optimality;
 use qtaccel_envs::Environment;
 use qtaccel_fixed::Q8_8;
-use serde::Serialize;
 
 /// Result of the dual-pipeline experiment.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig8 {
     /// Number of states in the shared environment.
     pub states: usize,
@@ -91,6 +90,8 @@ impl Fig8 {
         )
     }
 }
+
+crate::impl_to_json!(Fig8 { states, cycles, single_samples, dual_samples, single_optimality, dual_optimality, q_collisions, collision_rate, dual_msps });
 
 #[cfg(test)]
 mod tests {

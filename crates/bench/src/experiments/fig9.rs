@@ -13,10 +13,9 @@ use qtaccel_envs::{ActionSet, Environment, PartitionedGrid};
 use qtaccel_fixed::Q8_8;
 use qtaccel_hdl::lfsr::Lfsr32;
 use qtaccel_hdl::resource::Device;
-use serde::Serialize;
 
 /// One scaling point.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Fig9Row {
     /// Number of pipelines (= tiles).
     pub pipelines: usize,
@@ -35,7 +34,7 @@ pub struct Fig9Row {
 }
 
 /// The scaling sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig9 {
     /// One row per pipeline count.
     pub rows: Vec<Fig9Row>,
@@ -114,6 +113,9 @@ impl Fig9 {
         )
     }
 }
+
+crate::impl_to_json!(Fig9Row { pipelines, states_per_tile, samples_per_cycle, aggregate_msps, total_dsp, total_bram, mean_optimality });
+crate::impl_to_json!(Fig9 { rows });
 
 #[cfg(test)]
 mod tests {

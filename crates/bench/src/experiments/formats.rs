@@ -15,10 +15,9 @@ use qtaccel_core::trainer::{RefTrainer, TrainerConfig};
 use qtaccel_envs::GridWorld;
 use qtaccel_fixed::{QValue, Q16_16, Q4_12, Q8_8};
 use qtaccel_hdl::resource::Device;
-use serde::Serialize;
 
 /// One format's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FormatRow {
     /// Format name (`Q8.8`, …).
     pub format: String,
@@ -37,7 +36,7 @@ pub struct FormatRow {
 }
 
 /// The sweep result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Formats {
     /// Grid size trained.
     pub states: usize,
@@ -141,6 +140,9 @@ impl Formats {
         out
     }
 }
+
+crate::impl_to_json!(FormatRow { format, bits, optimality, dsp, bram_largest_case, fits_largest_case });
+crate::impl_to_json!(Formats { states, rows });
 
 #[cfg(test)]
 mod tests {

@@ -11,10 +11,9 @@ use qtaccel_core::bandit::{run_regret, BanditAlgorithm, Ucb1};
 use qtaccel_envs::GaussianBandit;
 use qtaccel_fixed::Q8_8;
 use qtaccel_hdl::lfsr::Lfsr32;
-use serde::Serialize;
 
 /// One algorithm's outcome.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MabRow {
     /// Algorithm name.
     pub name: String,
@@ -29,7 +28,7 @@ pub struct MabRow {
 }
 
 /// The MAB experiment result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Mab {
     /// Number of arms.
     pub arms: usize,
@@ -145,6 +144,9 @@ impl Mab {
         )
     }
 }
+
+crate::impl_to_json!(MabRow { name, final_regret, tail_regret_rate, found_best, msps });
+crate::impl_to_json!(Mab { arms, rounds, rows });
 
 #[cfg(test)]
 mod tests {

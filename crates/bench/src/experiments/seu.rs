@@ -29,10 +29,9 @@ use qtaccel_envs::Environment;
 use qtaccel_fixed::Q8_8;
 use qtaccel_hdl::lfsr::Lfsr32;
 use qtaccel_hdl::rng::RngSource;
-use serde::Serialize;
 
 /// One injection scenario.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SeuRow {
     /// Max-selection mode under test.
     pub mode: String,
@@ -51,7 +50,7 @@ pub struct SeuRow {
 }
 
 /// The SEU study result.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Seu {
     /// Grid size used.
     pub states: usize,
@@ -147,6 +146,9 @@ impl Seu {
         )
     }
 }
+
+crate::impl_to_json!(SeuRow { mode, flips, sign_bits_only, optimality_before, optimality_after, recovery_samples });
+crate::impl_to_json!(Seu { states, rows });
 
 #[cfg(test)]
 mod tests {

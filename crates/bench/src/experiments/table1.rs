@@ -3,10 +3,9 @@
 use crate::paper::{TABLE1_ACTIONS, TABLE1_STATES};
 use crate::report::render_table;
 use qtaccel_envs::Environment;
-use serde::Serialize;
 
 /// One test case row.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Case {
     /// Case number (1-based, as in the paper).
     pub case: usize,
@@ -21,7 +20,7 @@ pub struct Case {
 }
 
 /// The full test-case matrix.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table1 {
     /// All seven cases.
     pub cases: Vec<Case>,
@@ -71,6 +70,9 @@ impl Table1 {
         )
     }
 }
+
+crate::impl_to_json!(Case { case, states, side, actions, pairs_a8 });
+crate::impl_to_json!(Table1 { cases });
 
 #[cfg(test)]
 mod tests {

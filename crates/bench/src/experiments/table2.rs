@@ -14,13 +14,12 @@ use crate::report::{fmt_rate, render_table};
 use qtaccel_accel::{AccelConfig, QLearningAccel};
 use qtaccel_baseline::{CpuBaseline, CpuKind};
 use qtaccel_fixed::Q8_8;
-use serde::Serialize;
 
 /// Sizes Table II evaluates.
 pub const TABLE2_STATES: [usize; 4] = [64, 1024, 16384, 262144];
 
 /// One comparison cell.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Table2Row {
     /// Number of states.
     pub states: usize,
@@ -37,7 +36,7 @@ pub struct Table2Row {
 }
 
 /// The Table II grid.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table2 {
     /// One row per (|S|, |A|).
     pub rows: Vec<Table2Row>,
@@ -98,6 +97,9 @@ impl Table2 {
         )
     }
 }
+
+crate::impl_to_json!(Table2Row { states, actions, cpu_dict_sps, cpu_dense_sps, fpga_sps, speedup });
+crate::impl_to_json!(Table2 { rows });
 
 #[cfg(test)]
 mod tests {

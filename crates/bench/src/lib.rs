@@ -26,6 +26,7 @@ pub mod experiments;
 pub mod grids;
 pub mod paper;
 pub mod report;
+pub mod timing;
 
 /// Sample counts etc. scale down in quick mode so the experiment
 /// functions can run inside unit tests.

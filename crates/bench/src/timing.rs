@@ -1,0 +1,87 @@
+//! Minimal wall-clock measurement harness — the dependency-free
+//! stand-in for criterion used by the `benches/` targets and the
+//! `bench_throughput` binary. Fixed warm-up, median-of-runs reporting.
+
+use std::time::Instant;
+
+/// One timed benchmark: the median over `runs` timed invocations.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label.
+    pub name: String,
+    /// Median wall-clock seconds per invocation of the closure.
+    pub median_secs: f64,
+    /// Elements processed per closure invocation.
+    pub elements_per_iter: u64,
+}
+
+impl BenchResult {
+    /// Median nanoseconds per element.
+    pub fn ns_per_element(&self) -> f64 {
+        self.median_secs * 1e9 / self.elements_per_iter as f64
+    }
+
+    /// Median elements per host second.
+    pub fn elements_per_sec(&self) -> f64 {
+        self.elements_per_iter as f64 / self.median_secs
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<40} {:>10.1} ns/elem {:>12} elem/s",
+            self.name,
+            self.ns_per_element(),
+            crate::report::fmt_rate(self.elements_per_sec()),
+        )
+    }
+}
+
+/// Time `iter` (which processes `elements_per_iter` elements per call):
+/// one untimed warm-up call, then the median of `runs` timed calls.
+pub fn bench<F: FnMut()>(
+    name: &str,
+    elements_per_iter: u64,
+    runs: usize,
+    mut iter: F,
+) -> BenchResult {
+    assert!(runs > 0, "need at least one timed run");
+    iter();
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        iter();
+        samples.push(t.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    BenchResult {
+        name: name.to_string(),
+        median_secs: samples[samples.len() / 2].max(1e-12),
+        elements_per_iter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_rates_are_sane() {
+        let mut acc = 0u64;
+        let r = bench("noop", 1_000, 3, || {
+            for i in 0..1_000u64 {
+                acc = acc.wrapping_add(std::hint::black_box(i));
+            }
+        });
+        assert!(r.median_secs > 0.0);
+        assert!(r.elements_per_sec() > 0.0);
+        assert!(r.summary().contains("noop"));
+        assert!(acc > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one timed run")]
+    fn zero_runs_rejected() {
+        bench("x", 1, 0, || {});
+    }
+}

@@ -91,19 +91,150 @@ impl_lfsr!(Lfsr64, u64, 0xD800_0000_0000_0000, 64);
 // t+1 equals a high bit of draw t). Hardware solves this with a
 // "leap-forward" LFSR — an XOR network computing w shifts in one clock —
 // and that is the primitive these impls model.
+//
+// The Galois step s ↦ (s >> 1) ^ (taps if s&1) is linear over GF(2), so
+// the w-step leap is a fixed linear transform M^w of the state bits. The
+// simulator evaluates it the way the hardware's XOR network would: as a
+// constant fan-in of per-byte partial images, precomputed at compile time
+// (`leap(s) = T0[s.byte0] ^ T1[s.byte1] ^ …`). This turns the `w`
+// serially-dependent shifts of the naive model into a handful of
+// independent table loads per draw — bit-exact with explicit stepping,
+// which `leap_tables_match_naive_stepping` pins down.
+
+macro_rules! leap_table {
+    ($builder:ident, $table:ident, $ty:ty, $taps:expr, $steps:expr, $bytes:expr) => {
+        const fn $builder() -> [[$ty; 256]; $bytes] {
+            let mut t = [[0; 256]; $bytes];
+            let mut byte = 0;
+            while byte < $bytes {
+                let mut v = 0;
+                while v < 256 {
+                    // M^steps applied to the basis image v << 8·byte, by
+                    // naive stepping (linearity makes the XOR of per-byte
+                    // images equal the image of the full state).
+                    let mut s = (v as $ty) << (8 * byte as u32);
+                    let mut i = 0;
+                    while i < $steps {
+                        let lsb = s & 1;
+                        s >>= 1;
+                        if lsb != 0 {
+                            s ^= $taps;
+                        }
+                        i += 1;
+                    }
+                    t[byte][v] = s;
+                    v += 1;
+                }
+                byte += 1;
+            }
+            t
+        }
+        static $table: [[$ty; 256]; $bytes] = $builder();
+    };
+}
+
+leap_table!(build_leap16, LEAP16, u16, Lfsr16::TAPS, 16, 2);
+leap_table!(build_leap32, LEAP32, u32, Lfsr32::TAPS, 32, 4);
+leap_table!(build_leap64, LEAP64, u64, Lfsr64::TAPS, 32, 8);
+// Double leap (two words = 64 shifts) for the unrolled generator below.
+leap_table!(build_leap32x2, LEAP32X2, u32, Lfsr32::TAPS, 64, 4);
+
+#[inline(always)]
+fn leap16(s: u16) -> u16 {
+    LEAP16[0][(s & 0xFF) as usize] ^ LEAP16[1][(s >> 8) as usize]
+}
+
+#[inline(always)]
+fn leap32(s: u32) -> u32 {
+    LEAP32[0][(s & 0xFF) as usize]
+        ^ LEAP32[1][(s >> 8 & 0xFF) as usize]
+        ^ LEAP32[2][(s >> 16 & 0xFF) as usize]
+        ^ LEAP32[3][(s >> 24) as usize]
+}
+
+#[inline(always)]
+fn leap64(s: u64) -> u64 {
+    LEAP64[0][(s & 0xFF) as usize]
+        ^ LEAP64[1][(s >> 8 & 0xFF) as usize]
+        ^ LEAP64[2][(s >> 16 & 0xFF) as usize]
+        ^ LEAP64[3][(s >> 24 & 0xFF) as usize]
+        ^ LEAP64[4][(s >> 32 & 0xFF) as usize]
+        ^ LEAP64[5][(s >> 40 & 0xFF) as usize]
+        ^ LEAP64[6][(s >> 48 & 0xFF) as usize]
+        ^ LEAP64[7][(s >> 56) as usize]
+}
+
+#[inline(always)]
+fn leap32x2(s: u32) -> u32 {
+    LEAP32X2[0][(s & 0xFF) as usize]
+        ^ LEAP32X2[1][(s >> 8 & 0xFF) as usize]
+        ^ LEAP32X2[2][(s >> 16 & 0xFF) as usize]
+        ^ LEAP32X2[3][(s >> 24) as usize]
+}
+
+/// Two-ahead software unrolling of [`Lfsr32`].
+///
+/// Emits exactly the word stream `RngSource::next_u32` would produce on
+/// the source register, but holds the next *two* outputs and refills with
+/// a 64-shift leap, splitting the generator into two interleaved
+/// half-rate chains. Each emitted word then depends on the word two draws
+/// back instead of the previous one, halving the serial table-load
+/// latency on the critical path. This is purely a host-side throughput
+/// device for the fast-path executor; the modeled hardware remains the
+/// single 32-shift leap network of [`Lfsr32`].
+#[derive(Debug, Clone)]
+pub struct Lfsr32Unrolled {
+    next: u32,
+    ahead: u32,
+    last: u32,
+}
+
+impl Lfsr32Unrolled {
+    /// Continue the stream of `src` (which is left untouched).
+    #[inline]
+    pub fn new(src: &Lfsr32) -> Self {
+        let next = leap32(src.peek());
+        Self {
+            next,
+            ahead: leap32(next),
+            last: src.peek(),
+        }
+    }
+
+    /// Identical to `RngSource::next_u32` on the underlying register.
+    #[inline(always)]
+    pub fn next_u32(&mut self) -> u32 {
+        let out = self.next;
+        self.next = self.ahead;
+        self.ahead = leap32x2(out);
+        self.last = out;
+        out
+    }
+
+    /// Collapse back to a plain register positioned exactly where the
+    /// serial generator would be after the same number of draws. Sound
+    /// because an [`Lfsr32`]'s state *is* its last emitted word, and an
+    /// LFSR never emits 0 (so `Lfsr32::new`'s zero remap never fires).
+    #[inline]
+    pub fn into_lfsr(self) -> Lfsr32 {
+        Lfsr32::new(self.last)
+    }
+}
+
+impl RngSource for Lfsr32Unrolled {
+    #[inline(always)]
+    fn next_u32(&mut self) -> u32 {
+        Lfsr32Unrolled::next_u32(self)
+    }
+}
 
 impl RngSource for Lfsr16 {
     /// Two 16-shift leaps assemble a 32-bit word from the 16-bit register.
     #[inline]
     fn next_u32(&mut self) -> u32 {
-        let mut hi = 0u16;
-        let mut lo = 0u16;
-        for _ in 0..16 {
-            hi = self.step();
-        }
-        for _ in 0..16 {
-            lo = self.step();
-        }
+        let hi = leap16(self.state);
+        let lo = leap16(hi);
+        self.state = lo;
         ((hi as u32) << 16) | lo as u32
     }
 }
@@ -112,11 +243,8 @@ impl RngSource for Lfsr32 {
     /// One 32-shift leap per word.
     #[inline]
     fn next_u32(&mut self) -> u32 {
-        let mut w = 0u32;
-        for _ in 0..32 {
-            w = self.step();
-        }
-        w
+        self.state = leap32(self.state);
+        self.state
     }
 }
 
@@ -125,11 +253,8 @@ impl RngSource for Lfsr64 {
     /// sample.
     #[inline]
     fn next_u32(&mut self) -> u32 {
-        let mut w = 0u64;
-        for _ in 0..32 {
-            w = self.step();
-        }
-        (w >> 32) as u32
+        self.state = leap64(self.state);
+        (self.state >> 32) as u32
     }
 }
 
@@ -274,6 +399,65 @@ mod tests {
         let mut b = Lfsr32::new(2);
         let same = (0..100).filter(|_| a.next_u32() == b.next_u32()).count();
         assert!(same < 5, "streams from different seeds nearly identical");
+    }
+
+    #[test]
+    fn leap_tables_match_naive_stepping() {
+        // The precomputed XOR-network leap must be bit-exact with the
+        // serially-stepped register for every width, across many states.
+        let mut s16 = Lfsr16::new(0xACE1);
+        let mut s32 = Lfsr32::new(0xDEAD_BEEF);
+        let mut s64 = Lfsr64::new(0x0123_4567_89AB_CDEF);
+        for _ in 0..10_000 {
+            let naive16 = {
+                let mut c = s16.clone();
+                let mut w = 0u16;
+                for _ in 0..16 {
+                    w = c.step();
+                }
+                w
+            };
+            assert_eq!(super::leap16(s16.peek()), naive16);
+            s16.step();
+
+            let naive32 = {
+                let mut c = s32.clone();
+                let mut w = 0u32;
+                for _ in 0..32 {
+                    w = c.step();
+                }
+                w
+            };
+            assert_eq!(super::leap32(s32.peek()), naive32);
+            s32.step();
+
+            let naive64 = {
+                let mut c = s64.clone();
+                let mut w = 0u64;
+                for _ in 0..32 {
+                    w = c.step();
+                }
+                w
+            };
+            assert_eq!(super::leap64(s64.peek()), naive64);
+            s64.step();
+        }
+    }
+
+    #[test]
+    fn unrolled_lfsr32_matches_serial_stream_and_resyncs() {
+        for seed in [1u32, 0xACE1, 0xDEAD_BEEF, u32::MAX] {
+            let mut serial = Lfsr32::new(seed);
+            let mut unrolled = Lfsr32Unrolled::new(&serial);
+            for _ in 0..10_000 {
+                assert_eq!(unrolled.next_u32(), serial.next_u32());
+            }
+            // Collapsing back must land on the serial register's state...
+            let resynced = unrolled.clone().into_lfsr();
+            assert_eq!(resynced, serial);
+            // ...and a zero-draw collapse must be the identity.
+            assert_eq!(Lfsr32Unrolled::new(&serial).into_lfsr(), serial);
+        }
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Cycle bookkeeping shared by pipeline simulators.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by a cycle-accurate pipeline run.
 ///
 /// The paper's headline architectural claim is *samples-per-cycle = 1*
@@ -9,7 +7,8 @@ use serde::{Deserialize, Serialize};
 /// These counters make that claim checkable: `samples / cycles → 1` with
 /// forwarding enabled, and the stall counter quantifies what the
 /// forwarding network saves (the `ablation_forwarding` experiment).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CycleStats {
     /// Clock cycles simulated.
     pub cycles: u64,

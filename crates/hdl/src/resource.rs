@@ -5,10 +5,9 @@
 //! records the calibration anchors and EXPERIMENTS.md compares the model
 //! output against every paper-reported number.
 
-use serde::{Deserialize, Serialize};
-
 /// Static description of an FPGA device's resource pools.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Device {
     /// Marketing/part name.
     pub name: &'static str,
@@ -75,7 +74,8 @@ impl Device {
 }
 
 /// Absolute resource consumption of a design instance.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ResourceReport {
     /// DSP slices (multipliers).
     pub dsp: u64,
@@ -135,7 +135,8 @@ impl ResourceReport {
 }
 
 /// Resource utilization as percentages of a device's pools.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Utilization {
     /// DSP slice utilization, percent.
     pub dsp_pct: f64,
@@ -170,7 +171,8 @@ pub struct Utilization {
 /// *same* degraded clock for 4 actions, whose tables use < 40 % BRAM,
 /// which is why the model keys on address width rather than on BRAM
 /// percentage directly; the two coincide on the 8-action sweep).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct FmaxModel {
     /// Address width (log2 states) where degradation begins.
     pub knee_log2_states: f64,
@@ -221,7 +223,8 @@ impl FmaxModel {
 /// "Because of the increase in logic/register utilization the power
 /// utilization increases accordingly") lands visibly higher, matching the
 /// relative heights in the paper's figures.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct PowerModel {
     /// Static leakage attributed to the design, mW.
     pub static_mw: f64,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: offline build, tests, lints, and the tracked
+# two-speed throughput baseline (refreshes BENCH_throughput.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build (release, offline) =="
+cargo build --release --offline --workspace
+
+echo "== cargo test (offline) =="
+cargo test -q --offline --workspace
+
+echo "== cargo clippy (offline, deny warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "== bench_throughput --quick =="
+cargo run --release --offline -p qtaccel-bench --bin bench_throughput -- --quick
+
+echo "verify: OK"

@@ -1,0 +1,462 @@
+//! A self-contained property-testing shim exposing the subset of the
+//! `proptest` crate API that this workspace uses, so `cargo test` works in
+//! network-isolated environments (the root manifest patches `crates-io`
+//! to this implementation).
+//!
+//! Covered surface:
+//!
+//! * the `proptest! { ... }` macro with `pat in strategy` parameters and
+//!   an optional `#![proptest_config(...)]` inner attribute,
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * integer and float range strategies (`a..b`, `a..=b`, `a..`),
+//! * `any::<T>()` for primitives, tuple strategies, `.prop_map(...)`,
+//! * `prop::collection::vec(elem, len)` with exact or ranged lengths,
+//! * `prop::num::f64::NORMAL`.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test RNG (seeded from the test's module path), there
+//! is no shrinking, and a failing case reports its inputs verbatim via
+//! `Debug` before propagating the panic.
+
+pub mod rng {
+    /// Deterministic splitmix64 generator driving all strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seed from an arbitrary byte string (FNV-1a), e.g. the test name.
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.as_bytes() {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self { state: h | 1 }
+        }
+
+        /// Next 64 uniform bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform f64 in `[0, 1)` from the top 53 bits.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform usize in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration: only the case count is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::ops::{Range, RangeFrom, RangeInclusive};
+
+    /// A value generator. Unlike the real crate there is no value tree:
+    /// `sample` directly produces one value.
+    pub trait Strategy {
+        /// The type of values this strategy generates.
+        type Value;
+
+        /// Generate one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeFrom<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let span = (<$t>::MAX as i128 - self.start as i128) as u128 + 1;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.unit_f64() * (self.end - self.start);
+            // Guard the exclusive bound against rounding at the top end.
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start() + rng.unit_f64() * (self.end() - self.start())
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($S:ident $idx:tt),+))*) => {$(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A 0)
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+        (A 0, B 1, C 2, D 3, E 4, F 5)
+    }
+}
+
+pub mod arbitrary {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate one unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_ints {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_ints!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite full-range floats (no NaN/inf to keep asserts sane).
+            rng.unit_f64() * 2e18 - 1e18
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Length specifications accepted by [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// Lower bound (inclusive) and upper bound (exclusive).
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.min + rng.below(self.max - self.min);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    /// Vectors of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty vec length range");
+        VecStrategy { elem, min, max }
+    }
+}
+
+pub mod num {
+    /// Strategies over `f64` bit patterns.
+    pub mod f64 {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+
+        /// Generates normal (non-zero, non-subnormal, finite) floats of
+        /// either sign across the full exponent range.
+        pub struct NormalFloat;
+
+        /// The normal-float strategy value.
+        pub const NORMAL: NormalFloat = NormalFloat;
+
+        impl Strategy for NormalFloat {
+            type Value = ::std::primitive::f64;
+
+            fn sample(&self, rng: &mut TestRng) -> ::std::primitive::f64 {
+                let sign = rng.next_u64() & (1 << 63);
+                // Biased exponent in [1, 2046]: excludes zero/subnormal
+                // (0) and inf/NaN (2047).
+                let exp = 1 + rng.next_u64() % 2046;
+                let mantissa = rng.next_u64() & ((1 << 52) - 1);
+                ::std::primitive::f64::from_bits(sign | (exp << 52) | mantissa)
+            }
+        }
+    }
+}
+
+/// Namespace alias matching `proptest::prop::*` paths used with the
+/// prelude (`prop::collection::vec`, `prop::num::f64::NORMAL`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::num;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__config.cases {
+                let __vals = ($($crate::strategy::Strategy::sample(&($strat), &mut __rng),)+);
+                let __inputs = format!("{:?}", __vals);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(move || {
+                        let ($($pat,)+) = __vals;
+                        $body
+                    }),
+                );
+                if let Err(__panic) = __outcome {
+                    eprintln!(
+                        "proptest {}: case {}/{} failed for inputs {}",
+                        stringify!($name), __case + 1, __config.cases, __inputs,
+                    );
+                    ::std::panic::resume_unwind(__panic);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn int_ranges_in_bounds(a in 3u32..17, b in -5i64..=5, c in 250u8..) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..=5).contains(&b));
+            prop_assert!(c >= 250);
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in -2.0f64..3.0, y in 0.0f64..=1.0) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((0.0..=1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respected(
+            exact in prop::collection::vec(0u32..10, 4),
+            ranged in prop::collection::vec(any::<bool>(), 1..6),
+        ) {
+            prop_assert_eq!(exact.len(), 4);
+            prop_assert!((1..6).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in prop::num::f64::NORMAL) {
+            prop_assert!(x.is_normal(), "{x}");
+        }
+
+        #[test]
+        fn prop_map_applies((a, b) in (0u32..10, 0u32..10).prop_map(|(x, y)| (x + 100, y))) {
+            prop_assert!(a >= 100);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_stream() {
+        let mut a = crate::rng::TestRng::from_name("x");
+        let mut b = crate::rng::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

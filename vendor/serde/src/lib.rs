@@ -1,0 +1,19 @@
+//! Offline resolution stub for `serde`.
+//!
+//! The workspace keeps `serde` as an *optional*, default-off dependency of
+//! `qtaccel-fixed` and `qtaccel-hdl`. Cargo still has to resolve the
+//! package even when the feature is disabled, and this repository must
+//! build in network-isolated environments with no registry index, so the
+//! root manifest patches `crates-io` to this stub. It is never compiled
+//! into the default build.
+//!
+//! The stub intentionally implements nothing beyond the two marker traits:
+//! enabling the `serde` features of `qtaccel-fixed`/`qtaccel-hdl` against
+//! the stub will fail to compile (there are no derive macros), which is the
+//! correct signal that the environment needs the real `serde` crate.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
