@@ -28,6 +28,13 @@
 //! * [`resources`] — the structural resource model (DSP/BRAM/FF/LUT)
 //!   behind Figs. 3, 4, 5 and the modeled throughput behind Fig. 6.
 //!
+//! Every engine is generic over a `qtaccel_telemetry::TraceSink`
+//! (default `NullSink` = telemetry off): attach a counter-bearing sink
+//! via the `with_sink` constructors to collect the hardware-style
+//! perf-counter bank and structured event trace described in DESIGN.md
+//! §2.6 — with the default sink the instrumentation compiles out and the
+//! fast path is bit- and speed-identical to the uninstrumented build.
+//!
 //! The central correctness property, asserted by this crate's tests and
 //! the workspace integration tests: **with forwarding enabled, an engine
 //! seeded with master seed k produces a bit-identical Q-table to the

@@ -24,6 +24,7 @@ use qtaccel_fixed::QValue;
 use qtaccel_hdl::lfsr::Lfsr32;
 use qtaccel_hdl::pipeline::CycleStats;
 use qtaccel_hdl::rng::{epsilon_greedy_draw, epsilon_to_q32, RngSource, SeedSequence};
+use qtaccel_telemetry::{CounterBank, CounterId, NullSink, TraceSink};
 
 const WRITE_OFFSET: u64 = 3;
 const FILL: u64 = 3;
@@ -76,7 +77,9 @@ pub struct DualPipelineShared<V> {
     agents: [AgentCtx; 2],
     cycle: u64,
     samples: u64,
-    forwards: u64,
+    fwd_q: u64,
+    fwd_qmax: u64,
+    qmax_writes: u64,
     q_collisions: u64,
     qmax_collisions: u64,
 }
@@ -123,7 +126,9 @@ impl<V: QValue> DualPipelineShared<V> {
             ],
             cycle: 0,
             samples: 0,
-            forwards: 0,
+            fwd_q: 0,
+            fwd_qmax: 0,
+            qmax_writes: 0,
             q_collisions: 0,
             qmax_collisions: 0,
             config,
@@ -167,7 +172,7 @@ impl<V: QValue> DualPipelineShared<V> {
         self.commit_q_until(cycle);
         let idx = sa_index(s, a, self.num_actions);
         if let Some(w) = self.pending_q[p].iter().rev().find(|w| w.addr == idx) {
-            self.forwards += 1;
+            self.fwd_q += 1;
             w.value
         } else {
             self.q_mem[idx]
@@ -178,7 +183,7 @@ impl<V: QValue> DualPipelineShared<V> {
         self.commit_qmax_until(cycle);
         let idx = s as usize;
         if let Some(w) = self.pending_qmax[p].iter().rev().find(|w| w.addr == idx) {
-            self.forwards += 1;
+            self.fwd_qmax += 1;
             w.value
         } else {
             self.qmax_mem[idx]
@@ -338,6 +343,7 @@ impl<V: QValue> DualPipelineShared<V> {
         }
         for (p, w) in qmax_writes.iter().enumerate() {
             if let Some((addr, value)) = w {
+                self.qmax_writes += 1;
                 self.pending_qmax[p].push_back(Pending {
                     commit_cycle: write_cycle,
                     addr: *addr,
@@ -367,7 +373,7 @@ impl<V: QValue> DualPipelineShared<V> {
             samples: self.samples,
             stalls: 0,
             fill_bubbles: FILL,
-            forwards: self.forwards,
+            forwards: self.fwd_q + self.fwd_qmax,
         }
     }
 
@@ -379,6 +385,27 @@ impl<V: QValue> DualPipelineShared<V> {
     /// Same-cycle Qmax-write collisions.
     pub fn qmax_collisions(&self) -> u64 {
         self.qmax_collisions
+    }
+
+    /// A perf-counter snapshot over the shared-table unit, keyed to the
+    /// same register map as the single-pipeline bank (DESIGN.md §2.6).
+    /// Derived counters: samples/fill from the clock bookkeeping, one Q
+    /// write per retired sample, and port-arbitration losses surfaced as
+    /// [`CounterId::PortConflicts`]. Counters this unit does not model
+    /// (per-port read totals, LFSR draws) stay zero.
+    pub fn counters(&self) -> CounterBank {
+        let mut bank = CounterBank::new();
+        bank.add(CounterId::SamplesRetired, self.samples);
+        bank.add(CounterId::FillCycles, FILL);
+        bank.add(CounterId::QWrites, self.samples);
+        bank.add(CounterId::QmaxWrites, self.qmax_writes);
+        bank.add(CounterId::FwdQHit, self.fwd_q);
+        bank.add(CounterId::FwdQmaxHit, self.fwd_qmax);
+        bank.add(
+            CounterId::PortConflicts,
+            self.q_collisions + self.qmax_collisions,
+        );
+        bank
     }
 
     /// The shared Q-table (committed image plus surviving in-flight
@@ -438,9 +465,15 @@ impl<V: QValue> DualPipelineShared<V> {
 }
 
 /// N independent pipelines over disjoint sub-environments (Fig. 9).
+///
+/// Generic over a [`TraceSink`] (default [`NullSink`] = telemetry off,
+/// zero cost): attach one sink per bank via
+/// [`with_sinks`](Self::with_sinks) and each pipeline keeps its own
+/// counter bank, mirroring the hardware where every memory bank carries
+/// its own monitor registers.
 #[derive(Debug, Clone)]
-pub struct IndependentPipelines<V> {
-    pipes: Vec<AccelPipeline<V>>,
+pub struct IndependentPipelines<V, S: TraceSink = NullSink> {
+    pipes: Vec<AccelPipeline<V, S>>,
 }
 
 impl<V: QValue> IndependentPipelines<V> {
@@ -455,6 +488,35 @@ impl<V: QValue> IndependentPipelines<V> {
                 .map(|(i, e)| AccelPipeline::new(e, config, i as u64))
                 .collect(),
         }
+    }
+}
+
+impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
+    /// Instrumented construction: like [`new`](Self::new) but attaching
+    /// one telemetry sink per pipeline (`sinks.len()` must equal
+    /// `envs.len()`).
+    pub fn with_sinks<E: Environment>(envs: &[E], config: AccelConfig, sinks: Vec<S>) -> Self {
+        assert!(!envs.is_empty(), "need at least one sub-environment");
+        assert_eq!(envs.len(), sinks.len(), "one sink per pipeline");
+        Self {
+            pipes: envs
+                .iter()
+                .zip(sinks)
+                .enumerate()
+                .map(|(i, (e, sink))| AccelPipeline::with_sink(e, config, i as u64, sink))
+                .collect(),
+        }
+    }
+
+    /// Pipeline `i`'s perf-counter bank (all-zero unless a
+    /// counter-bearing sink is attached).
+    pub fn counters(&self, i: usize) -> &CounterBank {
+        self.pipes[i].counters()
+    }
+
+    /// Pipeline `i`'s attached trace sink.
+    pub fn sink(&self, i: usize) -> &S {
+        self.pipes[i].sink()
     }
 
     /// Number of pipelines.
@@ -474,7 +536,10 @@ impl<V: QValue> IndependentPipelines<V> {
         &mut self,
         envs: &[E],
         samples_each: u64,
-    ) -> CycleStats {
+    ) -> CycleStats
+    where
+        S: Send,
+    {
         assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
         std::thread::scope(|scope| {
             for (pipe, env) in self.pipes.iter_mut().zip(envs) {
@@ -493,7 +558,10 @@ impl<V: QValue> IndependentPipelines<V> {
         &mut self,
         envs: &[E],
         samples_each: u64,
-    ) -> CycleStats {
+    ) -> CycleStats
+    where
+        S: Send,
+    {
         assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
         std::thread::scope(|scope| {
             for (pipe, env) in self.pipes.iter_mut().zip(envs) {
@@ -618,6 +686,45 @@ mod tests {
         assert_eq!(r.report.bram36, single.bram36, "tables are shared");
         assert_eq!(r.report.dsp, 2 * single.dsp, "datapaths are duplicated");
         assert!((r.throughput_msps - 2.0 * 189.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dual_counter_snapshot_matches_bookkeeping() {
+        let g = grid();
+        let mut d = DualPipelineShared::<Q8_8>::new(&g, AccelConfig::default());
+        let stats = d.train_cycles(&g, 20_000);
+        let bank = d.counters();
+        assert_eq!(bank.get(CounterId::SamplesRetired), stats.samples);
+        assert_eq!(bank.get(CounterId::QWrites), stats.samples);
+        assert_eq!(
+            bank.get(CounterId::FwdQHit) + bank.get(CounterId::FwdQmaxHit),
+            stats.forwards,
+            "per-memory forward split must sum to the merged stat"
+        );
+        assert_eq!(
+            bank.get(CounterId::PortConflicts),
+            d.q_collisions() + d.qmax_collisions()
+        );
+        assert_eq!(bank.get(CounterId::FillCycles), stats.fill_bubbles);
+        assert!(bank.get(CounterId::QmaxWrites) > 0, "greedy improves Qmax");
+        assert_eq!(bank.get(CounterId::QReads), 0, "per-port reads not modeled");
+    }
+
+    #[test]
+    fn independent_pipelines_carry_per_bank_counters() {
+        let mut rng = qtaccel_hdl::lfsr::Lfsr32::new(77);
+        let part = PartitionedGrid::new(16, 16, 2, 2, 10, ActionSet::Four, &mut rng);
+        let mut ind = IndependentPipelines::<Q8_8, _>::with_sinks(
+            part.partitions(),
+            AccelConfig::default(),
+            vec![qtaccel_telemetry::CountersOnly; 4],
+        );
+        ind.train_samples_fast(part.partitions(), 5_000);
+        for i in 0..4 {
+            let bank = ind.counters(i);
+            assert_eq!(bank.get(CounterId::SamplesRetired), 5_000, "bank {i}");
+            assert_eq!(bank.get(CounterId::QWrites), 5_000, "bank {i}");
+        }
     }
 
     #[test]

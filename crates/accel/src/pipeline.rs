@@ -52,6 +52,7 @@ use qtaccel_fixed::QValue;
 use qtaccel_hdl::lfsr::{Lfsr32, Lfsr32Unrolled};
 use qtaccel_hdl::pipeline::CycleStats;
 use qtaccel_hdl::rng::{epsilon_greedy_draw, epsilon_to_q32, RngSource, SeedSequence};
+use qtaccel_telemetry::{CounterBank, CounterId, Event, MemKind, NullSink, TraceSink};
 
 /// Stage-4 offset from stage 1.
 const WRITE_OFFSET: u64 = 3;
@@ -249,8 +250,16 @@ const TERMINAL_BIT: u32 = 1 << 31;
 
 /// The pipeline core shared by the Q-Learning and SARSA engines (and, in
 /// pairs, by the dual-pipeline configuration).
+///
+/// Generic over a [`TraceSink`] chosen at compile time. With the default
+/// [`NullSink`] every instrumentation site monomorphizes away and the
+/// specialized fast executors stay engaged — zero cost when telemetry is
+/// off. An instrumented sink maintains the [`CounterBank`] (and, for
+/// event-bearing sinks, receives cycle-stamped [`Event`]s from the
+/// cycle-accurate engine; the fast path mirrors the counters but emits no
+/// events — see [`run_samples_fast`](Self::run_samples_fast)).
 #[derive(Debug, Clone)]
-pub struct AccelPipeline<V> {
+pub struct AccelPipeline<V, S: TraceSink = NullSink> {
     num_states: usize,
     num_actions: usize,
     config: AccelConfig,
@@ -288,13 +297,32 @@ pub struct AccelPipeline<V> {
     carry: Option<(State, Option<Action>)>,
     next_c1: u64,
     stats: CycleStats,
+    // Telemetry: perf-counter bank (live only when `S::COUNTERS`) and
+    // the event sink (fed only when `S::EVENTS`).
+    counters: CounterBank,
+    sink: S,
 }
 
 impl<V: QValue> AccelPipeline<V> {
     /// Build a pipeline for `env`'s dimensions. `pipeline_index` selects
     /// the RNG seed bank (0 for single-pipeline configurations — the bank
-    /// the software golden reference uses).
+    /// the software golden reference uses). Telemetry is disabled
+    /// ([`NullSink`]); use [`AccelPipeline::with_sink`] to instrument.
     pub fn new<E: Environment>(env: &E, config: AccelConfig, pipeline_index: u64) -> Self {
+        Self::with_sink(env, config, pipeline_index, NullSink)
+    }
+}
+
+impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
+    /// Build an instrumented pipeline: like [`AccelPipeline::new`] but
+    /// attaching `sink`, which selects the telemetry level at compile
+    /// time (see [`TraceSink`]).
+    pub fn with_sink<E: Environment>(
+        env: &E,
+        config: AccelConfig,
+        pipeline_index: u64,
+        sink: S,
+    ) -> Self {
         let seeds = SeedSequence::new(config.trainer.seed);
         let alpha_v = V::from_f64(config.trainer.alpha);
         let gamma_v = V::from_f64(config.trainer.gamma);
@@ -308,6 +336,13 @@ impl<V: QValue> AccelPipeline<V> {
         );
         for e in &mut qmax_mem {
             e.1 = init_rng.below(a as u32);
+        }
+        let mut counters = CounterBank::new();
+        if S::COUNTERS {
+            // The pipeline-fill bubbles are a property of the pipe, not
+            // of any iteration: account them at construction, matching
+            // `CycleStats::fill_bubbles`.
+            counters.add(CounterId::FillCycles, FILL);
         }
         Self {
             num_states: s,
@@ -339,12 +374,38 @@ impl<V: QValue> AccelPipeline<V> {
                 fill_bubbles: FILL,
                 ..CycleStats::default()
             },
+            counters,
+            sink,
         }
     }
 
     /// The configuration in force.
     pub fn config(&self) -> &AccelConfig {
         &self.config
+    }
+
+    /// The perf-counter bank. All-zero when `S::COUNTERS` is false
+    /// (except that nothing is ever accumulated, so reads are valid
+    /// regardless).
+    pub fn counters(&self) -> &CounterBank {
+        &self.counters
+    }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the attached trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consume the pipeline and return its sink (e.g. to recover a
+    /// captured event buffer).
+    pub fn into_sink(mut self) -> S {
+        self.sink.flush();
+        self.sink
     }
 
     /// Cycle statistics so far.
@@ -367,6 +428,13 @@ impl<V: QValue> AccelPipeline<V> {
     fn commit_q_until(&mut self, cycle: u64) {
         while let Some(p) = self.pending_q.front() {
             if p.commit_cycle < cycle {
+                if S::EVENTS {
+                    self.sink.record(&Event::Commit {
+                        cycle: p.commit_cycle,
+                        mem: MemKind::Q,
+                        addr: p.addr as u64,
+                    });
+                }
                 self.q_mem[p.addr] = p.value;
                 self.fwd_q.retire(p.addr);
                 self.pending_q.pop_front();
@@ -379,6 +447,13 @@ impl<V: QValue> AccelPipeline<V> {
     fn commit_qmax_until(&mut self, cycle: u64) {
         while let Some(p) = self.pending_qmax.front() {
             if p.commit_cycle < cycle {
+                if S::EVENTS {
+                    self.sink.record(&Event::Commit {
+                        cycle: p.commit_cycle,
+                        mem: MemKind::Qmax,
+                        addr: p.addr as u64,
+                    });
+                }
                 self.qmax_mem[p.addr] = p.value;
                 self.fwd_qmax.retire(p.addr);
                 self.pending_qmax.pop_front();
@@ -429,6 +504,9 @@ impl<V: QValue> AccelPipeline<V> {
     /// memory controller has serviced.
     fn read_q(&mut self, s: State, a: Action, cycle: u64) -> (V, u64) {
         let idx = sa_index(s, a, self.num_actions);
+        if S::COUNTERS {
+            self.counters.inc(CounterId::QReads);
+        }
         match self.config.hazard {
             HazardMode::Forwarding => {
                 let h = self.drain_horizon_q.max(cycle);
@@ -437,10 +515,32 @@ impl<V: QValue> AccelPipeline<V> {
                     Some(p) => {
                         if p.commit_cycle >= h {
                             self.stats.forwards += 1;
+                            if S::COUNTERS {
+                                self.counters.inc(CounterId::FwdQHit);
+                            }
+                            if S::EVENTS {
+                                self.sink.record(&Event::Hazard {
+                                    cycle,
+                                    mem: MemKind::Q,
+                                    addr: idx as u64,
+                                });
+                                self.sink.record(&Event::Forward {
+                                    cycle,
+                                    mem: MemKind::Q,
+                                    addr: idx as u64,
+                                });
+                            }
+                        } else if S::COUNTERS {
+                            self.counters.inc(CounterId::FwdMiss);
                         }
                         (p.value, 0)
                     }
-                    None => (self.q_mem[idx], 0),
+                    None => {
+                        if S::COUNTERS {
+                            self.counters.inc(CounterId::FwdMiss);
+                        }
+                        (self.q_mem[idx], 0)
+                    }
                 }
             }
             HazardMode::Ignore => {
@@ -457,7 +557,23 @@ impl<V: QValue> AccelPipeline<V> {
                 match self.newest_q(idx) {
                     // Hold the front end until the write commits, then
                     // the read returns the fresh value.
-                    Some(p) if p.commit_cycle >= h => (p.value, p.commit_cycle + 1 - cycle),
+                    Some(p) if p.commit_cycle >= h => {
+                        let d = p.commit_cycle + 1 - cycle;
+                        if S::EVENTS {
+                            self.sink.record(&Event::Hazard {
+                                cycle,
+                                mem: MemKind::Q,
+                                addr: idx as u64,
+                            });
+                            self.sink.record(&Event::StallBegin {
+                                cycle,
+                                mem: MemKind::Q,
+                                addr: idx as u64,
+                            });
+                            self.sink.record(&Event::StallEnd { cycle: cycle + d });
+                        }
+                        (p.value, d)
+                    }
                     Some(p) => (p.value, 0),
                     None => (self.q_mem[idx], 0),
                 }
@@ -468,6 +584,9 @@ impl<V: QValue> AccelPipeline<V> {
     /// Read the Qmax entry for `s` as issued at `cycle`.
     fn read_qmax(&mut self, s: State, cycle: u64) -> ((V, Action), u64) {
         let idx = s as usize;
+        if S::COUNTERS {
+            self.counters.inc(CounterId::QmaxReads);
+        }
         match self.config.hazard {
             HazardMode::Forwarding => {
                 let h = self.drain_horizon_qmax.max(cycle);
@@ -476,10 +595,32 @@ impl<V: QValue> AccelPipeline<V> {
                     Some(p) => {
                         if p.commit_cycle >= h {
                             self.stats.forwards += 1;
+                            if S::COUNTERS {
+                                self.counters.inc(CounterId::FwdQmaxHit);
+                            }
+                            if S::EVENTS {
+                                self.sink.record(&Event::Hazard {
+                                    cycle,
+                                    mem: MemKind::Qmax,
+                                    addr: idx as u64,
+                                });
+                                self.sink.record(&Event::Forward {
+                                    cycle,
+                                    mem: MemKind::Qmax,
+                                    addr: idx as u64,
+                                });
+                            }
+                        } else if S::COUNTERS {
+                            self.counters.inc(CounterId::FwdMiss);
                         }
                         (p.value, 0)
                     }
-                    None => (self.qmax_mem[idx], 0),
+                    None => {
+                        if S::COUNTERS {
+                            self.counters.inc(CounterId::FwdMiss);
+                        }
+                        (self.qmax_mem[idx], 0)
+                    }
                 }
             }
             HazardMode::Ignore => {
@@ -490,7 +631,23 @@ impl<V: QValue> AccelPipeline<V> {
                 let h = self.drain_horizon_qmax.max(cycle);
                 self.drain_horizon_qmax = h;
                 match self.newest_qmax(idx) {
-                    Some(p) if p.commit_cycle >= h => (p.value, p.commit_cycle + 1 - cycle),
+                    Some(p) if p.commit_cycle >= h => {
+                        let d = p.commit_cycle + 1 - cycle;
+                        if S::EVENTS {
+                            self.sink.record(&Event::Hazard {
+                                cycle,
+                                mem: MemKind::Qmax,
+                                addr: idx as u64,
+                            });
+                            self.sink.record(&Event::StallBegin {
+                                cycle,
+                                mem: MemKind::Qmax,
+                                addr: idx as u64,
+                            });
+                            self.sink.record(&Event::StallEnd { cycle: cycle + d });
+                        }
+                        (p.value, d)
+                    }
                     Some(p) => (p.value, 0),
                     None => (self.qmax_mem[idx], 0),
                 }
@@ -532,6 +689,10 @@ impl<V: QValue> AccelPipeline<V> {
     /// Stage-4 Qmax read-modify-write.
     fn qmax_writeback(&mut self, s: State, a: Action, v: V, cycle: u64) {
         let idx = s as usize;
+        if S::COUNTERS {
+            // The RMW's read half always accesses the Qmax port.
+            self.counters.inc(CounterId::QmaxReads);
+        }
         // The comparator's view of the current maximum: through the
         // forwarding network normally, the stale BRAM word in Ignore mode.
         // A pending entry whose commit cycle already passed holds exactly
@@ -553,6 +714,9 @@ impl<V: QValue> AccelPipeline<V> {
             }
         };
         if v.vcmp(current) == core::cmp::Ordering::Greater {
+            if S::COUNTERS {
+                self.counters.inc(CounterId::QmaxWrites);
+            }
             let p = Pending {
                 commit_cycle: cycle,
                 addr: idx,
@@ -570,13 +734,21 @@ impl<V: QValue> AccelPipeline<V> {
     fn behavior_select(&mut self, s: State, cycle: u64) -> (Action, u64) {
         let n = self.num_actions as u32;
         match self.config.trainer.behavior {
-            Policy::Random => (self.behavior_rng.below(n), 0),
+            Policy::Random => {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
+                (self.behavior_rng.below(n), 0)
+            }
             Policy::Greedy => {
                 let (v, a, d) = self.read_max(s, cycle);
                 let _ = v;
                 (a, d)
             }
             Policy::EpsilonGreedy { epsilon } => {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
                 match epsilon_greedy_draw(&mut self.behavior_rng, epsilon_to_q32(epsilon), n) {
                     Some(a) => (a, 0),
                     None => {
@@ -602,11 +774,17 @@ impl<V: QValue> AccelPipeline<V> {
                 (a, v, d)
             }
             Policy::Random => {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
                 let a = self.update_rng.below(n);
                 let (v, d) = self.read_q(s_next, a, cycle);
                 (a, v, d)
             }
             Policy::EpsilonGreedy { epsilon } => {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
                 match epsilon_greedy_draw(&mut self.update_rng, epsilon_to_q32(epsilon), n) {
                     Some(a) => {
                         let (v, d) = self.read_q(s_next, a, cycle);
@@ -645,6 +823,11 @@ impl<V: QValue> AccelPipeline<V> {
         // Stage 1: state + behaviour action + transition + reads.
         let (s, a, d1) = match self.carry.take() {
             None => {
+                if S::COUNTERS {
+                    // One draw per reset call (rejection re-draws inside
+                    // `random_start` stay internal to the unit).
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
                 let s = env.random_start(&mut self.start_rng);
                 let (a, d) = self.behavior_select(s, c1);
                 (s, a, d)
@@ -681,12 +864,40 @@ impl<V: QValue> AccelPipeline<V> {
         };
         self.pending_q.push_back(p);
         self.fwd_q.push(p);
+        if S::COUNTERS {
+            self.counters.inc(CounterId::QWrites);
+        }
         self.qmax_writeback(s, a, q_new, write_cycle);
 
+        let iteration = self.stats.samples;
         self.stats.samples += 1;
         self.stats.stalls += stalls;
         self.stats.cycles = write_cycle + 1;
         self.next_c1 = c1 + stalls + 1;
+        if S::COUNTERS {
+            self.counters.inc(CounterId::SamplesRetired);
+            // Stall cycles attributed to the stage whose read imposed
+            // them; the two counters sum to `CycleStats::stalls`.
+            self.counters.add(CounterId::StallStage1, d1);
+            self.counters.add(CounterId::StallStage2, d2);
+        }
+        if S::EVENTS {
+            // Stage occupancy, matching PipelineTrace::record_iteration's
+            // long-standing placement: stage 1 at issue, stages 2–4
+            // compressed behind the stalls.
+            self.sink.record(&Event::Stage {
+                cycle: c1,
+                stage: 1,
+                iteration,
+            });
+            for k in 1..=3u64 {
+                self.sink.record(&Event::Stage {
+                    cycle: c1 + stalls + k,
+                    stage: (k + 1) as u8,
+                    iteration,
+                });
+            }
+        }
 
         self.carry = if env.is_terminal(s_next) {
             None
@@ -730,12 +941,20 @@ impl<V: QValue> AccelPipeline<V> {
     /// to the read cycle first, reproducing the stale BRAM image.
     #[inline(always)]
     fn fast_read_q(&mut self, qring: &mut WriteRing<V>, idx: usize, cycle: u64) -> (V, u64) {
+        if S::COUNTERS {
+            self.counters.inc(CounterId::QReads);
+        }
         match self.config.hazard {
             HazardMode::Forwarding => {
                 let h = self.drain_horizon_q.max(cycle);
                 self.drain_horizon_q = h;
                 if matches!(qring.newest_cc(idx), Some(cc) if cc >= h) {
                     self.stats.forwards += 1;
+                    if S::COUNTERS {
+                        self.counters.inc(CounterId::FwdQHit);
+                    }
+                } else if S::COUNTERS {
+                    self.counters.inc(CounterId::FwdMiss);
                 }
                 (self.q_mem[idx], 0)
             }
@@ -764,12 +983,20 @@ impl<V: QValue> AccelPipeline<V> {
         idx: usize,
         cycle: u64,
     ) -> ((V, Action), u64) {
+        if S::COUNTERS {
+            self.counters.inc(CounterId::QmaxReads);
+        }
         match self.config.hazard {
             HazardMode::Forwarding => {
                 let h = self.drain_horizon_qmax.max(cycle);
                 self.drain_horizon_qmax = h;
                 if matches!(mring.newest_cc(idx), Some(cc) if cc >= h) {
                     self.stats.forwards += 1;
+                    if S::COUNTERS {
+                        self.counters.inc(CounterId::FwdQmaxHit);
+                    }
+                } else if S::COUNTERS {
+                    self.counters.inc(CounterId::FwdMiss);
                 }
                 (self.qmax_mem[idx], 0)
             }
@@ -840,12 +1067,20 @@ impl<V: QValue> AccelPipeline<V> {
     ) -> (Action, u64) {
         let n = self.num_actions as u32;
         match self.config.trainer.behavior {
-            Policy::Random => (self.behavior_rng.below(n), 0),
+            Policy::Random => {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
+                (self.behavior_rng.below(n), 0)
+            }
             Policy::Greedy => {
                 let (_, a, d) = self.fast_read_max(qring, mring, s, cycle);
                 (a, d)
             }
             Policy::EpsilonGreedy { epsilon } => {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
                 match epsilon_greedy_draw(&mut self.behavior_rng, epsilon_to_q32(epsilon), n) {
                     Some(a) => (a, 0),
                     None => {
@@ -877,12 +1112,18 @@ impl<V: QValue> AccelPipeline<V> {
                 (a, v, d)
             }
             Policy::Random => {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
                 let a = self.update_rng.below(n);
                 let (v, d) =
                     self.fast_read_q(qring, sa_index(s_next, a, self.num_actions), cycle);
                 (a, v, d)
             }
             Policy::EpsilonGreedy { epsilon } => {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::LfsrDraws);
+                }
                 match epsilon_greedy_draw(&mut self.update_rng, epsilon_to_q32(epsilon), n) {
                     Some(a) => {
                         let (v, d) =
@@ -936,7 +1177,12 @@ impl<V: QValue> AccelPipeline<V> {
         // environment image costs O(|S|·|A|) to build, so only divert
         // once a run is long enough to amortize the build — after which
         // the cached image makes the executor worthwhile at any length.
+        // The executor is uninstrumented by design (its whole point is
+        // eliding per-access bookkeeping), so an instrumented sink takes
+        // the general fast path below, which mirrors every counter.
         if n > 0
+            && !S::COUNTERS
+            && !S::EVENTS
             && self.config.hazard == HazardMode::Forwarding
             && self.config.trainer.max_mode == MaxMode::QmaxArray
             && self.num_states < (1usize << 31)
@@ -982,6 +1228,9 @@ impl<V: QValue> AccelPipeline<V> {
             // Stage 1.
             let (s, a, d1) = match self.carry.take() {
                 None => {
+                    if S::COUNTERS {
+                        self.counters.inc(CounterId::LfsrDraws);
+                    }
                     let s = env.random_start(&mut self.start_rng);
                     let (a, d) = self.fast_behavior_select(&mut qring, &mut mring, s, c1);
                     (s, a, d)
@@ -1021,6 +1270,12 @@ impl<V: QValue> AccelPipeline<V> {
                 addr: qaddr,
                 value: q_new,
             });
+            if S::COUNTERS {
+                self.counters.inc(CounterId::QWrites);
+                // The stage-4 RMW's read half (the cycle engine counts
+                // it inside qmax_writeback).
+                self.counters.inc(CounterId::QmaxReads);
+            }
 
             // Qmax read-modify-write.
             let midx = s as usize;
@@ -1033,6 +1288,9 @@ impl<V: QValue> AccelPipeline<V> {
                 self.qmax_mem[midx].0
             };
             if q_new.vcmp(current) == core::cmp::Ordering::Greater {
+                if S::COUNTERS {
+                    self.counters.inc(CounterId::QmaxWrites);
+                }
                 if immediate {
                     self.qmax_mem[midx] = (q_new, a);
                 }
@@ -1048,6 +1306,11 @@ impl<V: QValue> AccelPipeline<V> {
             self.stats.stalls += stalls;
             self.stats.cycles = write_cycle + 1;
             self.next_c1 = c1 + stalls + 1;
+            if S::COUNTERS {
+                self.counters.inc(CounterId::SamplesRetired);
+                self.counters.add(CounterId::StallStage1, d1);
+                self.counters.add(CounterId::StallStage2, d2);
+            }
 
             self.carry = if env.is_terminal(s_next) {
                 None

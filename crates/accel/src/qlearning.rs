@@ -8,31 +8,64 @@
 
 use crate::config::AccelConfig;
 use crate::pipeline::AccelPipeline;
-use crate::resources::{analyze, AccelResources, EngineKind};
+use crate::resources::{analyze, with_perf_regfile, AccelResources, EngineKind};
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{QTable, QmaxTable};
 use qtaccel_core::trainer::Transition;
 use qtaccel_envs::{Action, Environment};
 use qtaccel_fixed::QValue;
 use qtaccel_hdl::pipeline::CycleStats;
+use qtaccel_telemetry::{CounterBank, NullSink, TraceSink};
 
 /// The Q-Learning accelerator instance.
+///
+/// Generic over a [`TraceSink`] (default [`NullSink`] = telemetry off,
+/// zero cost); see [`QLearningAccel::with_sink`].
 #[derive(Debug, Clone)]
-pub struct QLearningAccel<V> {
-    pipe: AccelPipeline<V>,
+pub struct QLearningAccel<V, S: TraceSink = NullSink> {
+    pipe: AccelPipeline<V, S>,
 }
 
 impl<V: QValue> QLearningAccel<V> {
     /// Build an engine sized for `env`. The configured behaviour/update
     /// policies are overridden to the Q-Learning fixture (random /
     /// greedy); α, γ, seed, hazard mode and Qmax semantics are honoured.
-    pub fn new<E: Environment>(env: &E, mut config: AccelConfig) -> Self {
+    pub fn new<E: Environment>(env: &E, config: AccelConfig) -> Self {
+        Self::with_sink(env, config, NullSink)
+    }
+}
+
+impl<V: QValue, S: TraceSink> QLearningAccel<V, S> {
+    /// Build an instrumented engine: like [`QLearningAccel::new`] but
+    /// attaching a telemetry `sink` (see [`TraceSink`]).
+    pub fn with_sink<E: Environment>(env: &E, mut config: AccelConfig, sink: S) -> Self {
         config.trainer.behavior = Policy::Random;
         config.trainer.update = Policy::Greedy;
         config.trainer.forward_next_action = false;
         Self {
-            pipe: AccelPipeline::new(env, config, 0),
+            pipe: AccelPipeline::with_sink(env, config, 0, sink),
         }
+    }
+
+    /// The pipeline's perf-counter bank (all-zero unless a
+    /// counter-bearing sink is attached).
+    pub fn counters(&self) -> &CounterBank {
+        self.pipe.counters()
+    }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        self.pipe.sink()
+    }
+
+    /// Mutable access to the attached trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        self.pipe.sink_mut()
+    }
+
+    /// Consume the engine and return its sink.
+    pub fn into_sink(self) -> S {
+        self.pipe.into_sink()
     }
 
     /// Run `n` Q-value updates and return the cumulative cycle counters.
@@ -80,9 +113,12 @@ impl<V: QValue> QLearningAccel<V> {
     }
 
     /// Structural resources, modeled fmax/throughput/power for this
-    /// instance (Figs. 3, 4, 6).
+    /// instance (Figs. 3, 4, 6). When a counter-bearing sink is attached
+    /// the perf-counter bank's fabric cost is included (see
+    /// [`with_perf_regfile`]); with telemetry off the report is the
+    /// uninstrumented baseline.
     pub fn resources(&self) -> AccelResources {
-        analyze(
+        let res = analyze(
             self.pipe.num_states(),
             self.pipe.num_actions(),
             V::storage_bits(),
@@ -92,7 +128,12 @@ impl<V: QValue> QLearningAccel<V> {
                 // Before any sample retires, report the design rate.
                 if self.pipe.stats().samples == 0 { 1.0 } else { 0.0 },
             ),
-        )
+        );
+        if S::COUNTERS {
+            with_perf_regfile(res, self.pipe.config())
+        } else {
+            res
+        }
     }
 }
 

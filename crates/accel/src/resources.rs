@@ -101,6 +101,25 @@ pub struct AccelResources {
     pub power_mw: f64,
 }
 
+/// Fold the telemetry perf-counter bank's fabric cost into a resource
+/// bundle: `CounterId::COUNT` 64-bit counters behind an address decoder
+/// (see [`qtaccel_hdl::resource::perf_regfile_report`]). The engines
+/// apply this only when a counter-bearing sink is attached — disabled
+/// telemetry costs nothing in the model, exactly as unelaborated RTL
+/// costs nothing on the device (the policy DESIGN.md §2.6 documents).
+/// Clock is unaffected (the bank sits off the critical path); the
+/// utilization and power figures are recomputed over the combined report.
+pub fn with_perf_regfile(mut res: AccelResources, config: &AccelConfig) -> AccelResources {
+    let bank = qtaccel_hdl::resource::perf_regfile_report(
+        qtaccel_telemetry::CounterId::COUNT as u64,
+        64,
+    );
+    res.report = res.report.combine(bank);
+    res.utilization = res.report.utilization(&config.device);
+    res.power_mw = config.power.power_mw(&res.report, res.fmax_mhz);
+    res
+}
+
 /// Analyze one design point under `config`.
 ///
 /// `samples_per_cycle` is the pipeline's measured issue rate (1.0 with
@@ -192,6 +211,22 @@ mod tests {
         let small = analyze(64, 8, 16, EngineKind::QLearning, &cfg, 1.0);
         assert_eq!(small.throughput_msps, 189.0);
         assert!(small.power_mw < a.power_mw, "more BRAM, more power");
+    }
+
+    #[test]
+    fn perf_regfile_overhead_is_marginal_and_opt_in() {
+        let cfg = crate::config::AccelConfig::default();
+        let base = analyze(262_144, 8, 16, EngineKind::QLearning, &cfg, 1.0);
+        let inst = with_perf_regfile(base, &cfg);
+        // 13 x 64-bit counters of flip-flops, nothing else structural.
+        assert_eq!(inst.report.ff - base.report.ff, 13 * 64);
+        assert_eq!(inst.report.dsp, base.report.dsp);
+        assert_eq!(inst.report.bram36, base.report.bram36);
+        assert_eq!(inst.fmax_mhz, base.fmax_mhz, "bank is off the critical path");
+        assert!(inst.power_mw > base.power_mw, "more fabric, more power");
+        // Even instrumented, register utilization honours the paper's
+        // "< 0.1 %" claim at 2 M pairs.
+        assert!(inst.utilization.ff_pct < 0.1, "{}", inst.utilization.ff_pct);
     }
 
     #[test]

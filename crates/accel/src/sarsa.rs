@@ -10,32 +10,70 @@
 
 use crate::config::AccelConfig;
 use crate::pipeline::AccelPipeline;
-use crate::resources::{analyze, AccelResources, EngineKind};
+use crate::resources::{analyze, with_perf_regfile, AccelResources, EngineKind};
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{QTable, QmaxTable};
 use qtaccel_core::trainer::Transition;
 use qtaccel_envs::{Action, Environment};
 use qtaccel_fixed::QValue;
 use qtaccel_hdl::pipeline::CycleStats;
+use qtaccel_telemetry::{CounterBank, NullSink, TraceSink};
 
 /// The SARSA accelerator instance.
+///
+/// Generic over a [`TraceSink`] (default [`NullSink`] = telemetry off,
+/// zero cost); see [`SarsaAccel::with_sink`].
 #[derive(Debug, Clone)]
-pub struct SarsaAccel<V> {
-    pipe: AccelPipeline<V>,
+pub struct SarsaAccel<V, S: TraceSink = NullSink> {
+    pipe: AccelPipeline<V, S>,
 }
 
 impl<V: QValue> SarsaAccel<V> {
     /// Build an engine sized for `env` with exploration probability
     /// `epsilon`. Policies are overridden to the SARSA fixture; α, γ,
     /// seed, hazard mode and Qmax semantics are honoured.
-    pub fn new<E: Environment>(env: &E, mut config: AccelConfig, epsilon: f64) -> Self {
+    pub fn new<E: Environment>(env: &E, config: AccelConfig, epsilon: f64) -> Self {
+        Self::with_sink(env, config, epsilon, NullSink)
+    }
+}
+
+impl<V: QValue, S: TraceSink> SarsaAccel<V, S> {
+    /// Build an instrumented engine: like [`SarsaAccel::new`] but
+    /// attaching a telemetry `sink` (see [`TraceSink`]).
+    pub fn with_sink<E: Environment>(
+        env: &E,
+        mut config: AccelConfig,
+        epsilon: f64,
+        sink: S,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&epsilon), "epsilon must be in [0,1]");
         config.trainer.behavior = Policy::EpsilonGreedy { epsilon };
         config.trainer.update = Policy::EpsilonGreedy { epsilon };
         config.trainer.forward_next_action = true;
         Self {
-            pipe: AccelPipeline::new(env, config, 0),
+            pipe: AccelPipeline::with_sink(env, config, 0, sink),
         }
+    }
+
+    /// The pipeline's perf-counter bank (all-zero unless a
+    /// counter-bearing sink is attached).
+    pub fn counters(&self) -> &CounterBank {
+        self.pipe.counters()
+    }
+
+    /// The attached trace sink.
+    pub fn sink(&self) -> &S {
+        self.pipe.sink()
+    }
+
+    /// Mutable access to the attached trace sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        self.pipe.sink_mut()
+    }
+
+    /// Consume the engine and return its sink.
+    pub fn into_sink(self) -> S {
+        self.pipe.into_sink()
     }
 
     /// Run `n` Q-value updates and return the cumulative cycle counters.
@@ -75,9 +113,11 @@ impl<V: QValue> SarsaAccel<V> {
         self.pipe.greedy_policy()
     }
 
-    /// Structural resources, modeled fmax/throughput/power (Figs. 4, 5, 6).
+    /// Structural resources, modeled fmax/throughput/power (Figs. 4, 5,
+    /// 6). When a counter-bearing sink is attached the perf-counter
+    /// bank's fabric cost is included (see [`with_perf_regfile`]).
     pub fn resources(&self) -> AccelResources {
-        analyze(
+        let res = analyze(
             self.pipe.num_states(),
             self.pipe.num_actions(),
             V::storage_bits(),
@@ -86,7 +126,12 @@ impl<V: QValue> SarsaAccel<V> {
             self.pipe.stats().samples_per_cycle().max(
                 if self.pipe.stats().samples == 0 { 1.0 } else { 0.0 },
             ),
-        )
+        );
+        if S::COUNTERS {
+            with_perf_regfile(res, self.pipe.config())
+        } else {
+            res
+        }
     }
 }
 

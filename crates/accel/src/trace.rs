@@ -1,13 +1,23 @@
 //! Pipeline occupancy tracing — a text waveform of the 4-stage pipe.
 //!
-//! Attach a [`PipelineTrace`] to an [`crate::AccelPipeline`] and every
-//! retired iteration logs which cycle it occupied each stage. The
+//! [`PipelineTrace`] is a bounded [`TraceSink`]: attach one via
+//! [`AccelPipeline::with_sink`](crate::AccelPipeline::with_sink) and
+//! every retired iteration logs which cycle it occupied each stage. The
 //! waveform renderer draws the classic pipeline diagram (stages as rows,
 //! cycles as columns, iteration ids as cells), which makes the
 //! architecture's behaviour directly visible: a solid diagonal at one
 //! iteration per cycle under forwarding, bubbles opening up under
 //! stall-only hazard handling, and the |A|-cycle gaps of the exact-scan
 //! mode.
+//!
+//! Recording is **iteration-atomic**: an iteration either contributes all
+//! four of its stage slots or none. A full trace never truncates an
+//! iteration mid-flight (which used to leave a torn partial row in the
+//! waveform); instead the iteration is counted in
+//! [`dropped_iterations`](PipelineTrace::dropped_iterations), the same
+//! accounting the telemetry ring sink reports.
+
+use qtaccel_telemetry::{Event, TraceSink};
 
 /// One stage occupancy record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,11 +30,15 @@ pub struct TraceEvent {
     pub iteration: u64,
 }
 
-/// A bounded recording of stage occupancy.
+/// A bounded, iteration-atomic recording of stage occupancy.
 #[derive(Debug, Clone)]
 pub struct PipelineTrace {
     events: Vec<TraceEvent>,
     capacity: usize,
+    // Stage events of the iteration currently being received through the
+    // sink interface (the pipeline emits stages 1–4 back to back).
+    staged: Vec<TraceEvent>,
+    dropped_iterations: u64,
 }
 
 impl PipelineTrace {
@@ -34,18 +48,23 @@ impl PipelineTrace {
         Self {
             events: Vec::new(),
             capacity,
+            staged: Vec::with_capacity(4),
+            dropped_iterations: 0,
         }
     }
 
     /// Record one iteration's four stage slots. `c1` is its stage-1
     /// cycle; stages 2–4 follow at `c1 + stalls + k` per the stall
     /// placement (stalls hold the iteration between stage 1 and the
-    /// back half).
+    /// back half). Atomic: if the remaining capacity cannot hold all
+    /// four slots the whole iteration is dropped (and counted), never
+    /// truncated part-way.
     pub fn record_iteration(&mut self, iteration: u64, c1: u64, stalls: u64) {
+        if self.events.len() + 4 > self.capacity {
+            self.dropped_iterations += 1;
+            return;
+        }
         for (k, stage) in (1u8..=4).enumerate() {
-            if self.events.len() >= self.capacity {
-                return;
-            }
             let cycle = if stage == 1 {
                 c1
             } else {
@@ -64,9 +83,15 @@ impl PipelineTrace {
         &self.events
     }
 
-    /// Is the trace full?
+    /// Can the trace not accept another full iteration?
     pub fn is_full(&self) -> bool {
-        self.events.len() >= self.capacity
+        self.events.len() + 4 > self.capacity
+    }
+
+    /// Iterations that arrived after the trace filled and were dropped
+    /// whole (see the module docs on atomicity).
+    pub fn dropped_iterations(&self) -> u64 {
+        self.dropped_iterations
     }
 
     /// Render a text waveform covering cycles `[from, from + width)`.
@@ -110,6 +135,45 @@ impl PipelineTrace {
     }
 }
 
+impl TraceSink for PipelineTrace {
+    const EVENTS: bool = true;
+    const COUNTERS: bool = true;
+
+    /// Collects the four `Event::Stage` records the pipeline emits per
+    /// retirement (other event types pass through untracked — this sink
+    /// renders occupancy, not the memory system) and commits them as one
+    /// atomic iteration when stage 4 arrives.
+    fn record(&mut self, ev: &Event) {
+        if let Event::Stage {
+            cycle,
+            stage,
+            iteration,
+        } = *ev
+        {
+            if stage == 1 {
+                self.staged.clear();
+            }
+            self.staged.push(TraceEvent {
+                cycle,
+                stage,
+                iteration,
+            });
+            if stage == 4 {
+                if self.events.len() + self.staged.len() <= self.capacity {
+                    self.events.append(&mut self.staged);
+                } else {
+                    self.dropped_iterations += 1;
+                    self.staged.clear();
+                }
+            }
+        }
+    }
+
+    fn dropped_iterations(&self) -> u64 {
+        self.dropped_iterations
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -129,12 +193,48 @@ mod tests {
     }
 
     #[test]
-    fn capacity_is_respected() {
+    fn capacity_is_iteration_atomic() {
+        // Capacity 6 holds one whole iteration; the second no longer
+        // half-fits (4 + 4 > 6) and is dropped whole, not truncated to a
+        // torn 2-event stub as the pre-telemetry implementation did.
         let mut t = PipelineTrace::new(6);
         t.record_iteration(0, 0, 0);
-        t.record_iteration(1, 1, 0);
         assert!(t.is_full());
-        assert_eq!(t.events().len(), 6);
+        t.record_iteration(1, 1, 0);
+        assert_eq!(t.events().len(), 4);
+        assert_eq!(t.dropped_iterations(), 1);
+        t.record_iteration(2, 2, 0);
+        assert_eq!(t.dropped_iterations(), 2);
+    }
+
+    #[test]
+    fn sink_interface_matches_manual_recording() {
+        // Driving the trace through the TraceSink interface (attached to
+        // a pipeline) must record exactly what the manual bookkeeping
+        // formulation does.
+        let g = GridWorld::builder(2, 2).goal(1, 1).build();
+        let cfg = AccelConfig::default()
+            .with_seed(3)
+            .with_hazard(HazardMode::StallOnly);
+        let mut attached =
+            AccelPipeline::<Q8_8, PipelineTrace>::with_sink(&g, cfg, 0, PipelineTrace::new(60));
+        let mut manual_pipe = AccelPipeline::<Q8_8>::new(&g, cfg, 0);
+        let mut manual = PipelineTrace::new(60);
+        let mut c1 = 0u64;
+        for i in 0..40 {
+            attached.step(&g);
+            let before = manual_pipe.stats();
+            manual_pipe.step(&g);
+            let stalls = manual_pipe.stats().stalls - before.stalls;
+            manual.record_iteration(i, c1, stalls);
+            c1 += stalls + 1;
+        }
+        assert_eq!(attached.sink().events(), manual.events());
+        assert_eq!(
+            attached.sink().dropped_iterations(),
+            manual.dropped_iterations()
+        );
+        assert!(attached.sink().dropped_iterations() > 0, "60/4 < 40");
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Telemetry integration tests (DESIGN.md §2.6).
+//!
+//! * **Zero-cost equivalence**: attaching any sink must not change a
+//!   single architectural bit — Q table, Qmax table and cycle counters
+//!   are compared against the uninstrumented engine across both
+//!   algorithms, every hazard mode and both executors.
+//! * **Counter parity**: the fast-path executor mirrors every counter
+//!   the cycle-accurate path maintains.
+//! * **Pinned golden**: the Table-I |S|=64 design point's full counter
+//!   dump is pinned, so any change to counter attribution is loud.
+//! * **Round-trip**: the JSONL event stream and the counter dump parse
+//!   back through the telemetry JSON parser with the documented schema.
+
+use qtaccel_accel::{AccelConfig, HazardMode, QLearningAccel, SarsaAccel};
+use qtaccel_envs::{ActionSet, GridWorld};
+use qtaccel_fixed::Q8_8;
+use qtaccel_telemetry::{json, CounterId, CountersOnly, JsonlSink, RingSink, ToJson};
+
+fn grid() -> GridWorld {
+    GridWorld::builder(8, 8).goal(7, 7).build()
+}
+
+/// The Table-I |S|=64 replica: 8x8, eight actions, the diagonal obstacle
+/// band at (2,5) — the same construction as the bench crate's
+/// `paper_grid(64, 8)`.
+fn table1_s64() -> GridWorld {
+    GridWorld::builder(8, 8)
+        .goal(7, 7)
+        .actions(ActionSet::Eight)
+        .obstacle(2, 5)
+        .build()
+}
+
+const HAZARDS: [HazardMode; 3] = [
+    HazardMode::Forwarding,
+    HazardMode::StallOnly,
+    HazardMode::Ignore,
+];
+
+#[test]
+fn q_learning_is_bit_identical_with_telemetry_attached() {
+    for hazard in HAZARDS {
+        let cfg = AccelConfig::default().with_seed(11).with_hazard(hazard);
+        for fast in [false, true] {
+            let g = grid();
+            let mut plain = QLearningAccel::<Q8_8>::new(&g, cfg);
+            let mut traced =
+                QLearningAccel::<Q8_8, RingSink>::with_sink(&g, cfg, RingSink::new(256));
+            let (s0, s1) = if fast {
+                (
+                    plain.train_samples_fast(&g, 6_000),
+                    traced.train_samples_fast(&g, 6_000),
+                )
+            } else {
+                (plain.train_samples(&g, 6_000), traced.train_samples(&g, 6_000))
+            };
+            assert_eq!(s0, s1, "{hazard:?} fast={fast}");
+            assert_eq!(plain.q_table(), traced.q_table(), "{hazard:?} fast={fast}");
+            assert_eq!(
+                plain.qmax_table(),
+                traced.qmax_table(),
+                "{hazard:?} fast={fast}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sarsa_is_bit_identical_with_telemetry_attached() {
+    for hazard in HAZARDS {
+        let cfg = AccelConfig::default().with_seed(23).with_hazard(hazard);
+        for fast in [false, true] {
+            let g = grid();
+            let mut plain = SarsaAccel::<Q8_8>::new(&g, cfg, 0.2);
+            let mut traced =
+                SarsaAccel::<Q8_8, RingSink>::with_sink(&g, cfg, 0.2, RingSink::new(256));
+            let (s0, s1) = if fast {
+                (
+                    plain.train_samples_fast(&g, 6_000),
+                    traced.train_samples_fast(&g, 6_000),
+                )
+            } else {
+                (plain.train_samples(&g, 6_000), traced.train_samples(&g, 6_000))
+            };
+            assert_eq!(s0, s1, "{hazard:?} fast={fast}");
+            assert_eq!(plain.q_table(), traced.q_table(), "{hazard:?} fast={fast}");
+            assert_eq!(
+                plain.qmax_table(),
+                traced.qmax_table(),
+                "{hazard:?} fast={fast}"
+            );
+        }
+    }
+}
+
+#[test]
+fn counters_match_between_cycle_and_fast_paths() {
+    for hazard in HAZARDS {
+        let cfg = AccelConfig::default().with_seed(5).with_hazard(hazard);
+        let g = grid();
+        let mut cyc = QLearningAccel::<Q8_8, CountersOnly>::with_sink(&g, cfg, CountersOnly);
+        let mut fast = QLearningAccel::<Q8_8, CountersOnly>::with_sink(&g, cfg, CountersOnly);
+        assert_eq!(cyc.train_samples(&g, 8_000), fast.train_samples_fast(&g, 8_000));
+        for id in CounterId::ALL {
+            assert_eq!(
+                cyc.counters().get(id),
+                fast.counters().get(id),
+                "{hazard:?} {}",
+                id.name()
+            );
+        }
+
+        let mut scyc = SarsaAccel::<Q8_8, CountersOnly>::with_sink(&g, cfg, 0.3, CountersOnly);
+        let mut sfast = SarsaAccel::<Q8_8, CountersOnly>::with_sink(&g, cfg, 0.3, CountersOnly);
+        assert_eq!(
+            scyc.train_samples(&g, 8_000),
+            sfast.train_samples_fast(&g, 8_000)
+        );
+        for id in CounterId::ALL {
+            assert_eq!(
+                scyc.counters().get(id),
+                sfast.counters().get(id),
+                "sarsa {hazard:?} {}",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn counter_invariants_tie_out_against_cycle_stats() {
+    for hazard in HAZARDS {
+        let cfg = AccelConfig::default().with_seed(41).with_hazard(hazard);
+        let g = grid();
+        let mut eng = SarsaAccel::<Q8_8, CountersOnly>::with_sink(&g, cfg, 0.25, CountersOnly);
+        let stats = eng.train_samples(&g, 9_000);
+        let b = eng.counters();
+        assert_eq!(b.total_stalls(), stats.stalls, "{hazard:?}");
+        assert_eq!(b.total_forwards(), stats.forwards, "{hazard:?}");
+        assert_eq!(b.get(CounterId::SamplesRetired), stats.samples, "{hazard:?}");
+        assert_eq!(b.get(CounterId::FillCycles), stats.fill_bubbles, "{hazard:?}");
+        // Forwarding lookups resolve to exactly one of {hit, miss}.
+        let lookups = b.get(CounterId::FwdQHit)
+            + b.get(CounterId::FwdQmaxHit)
+            + b.get(CounterId::FwdMiss);
+        match hazard {
+            HazardMode::Forwarding => assert!(lookups > 0, "forwarding must look up"),
+            _ => assert_eq!(lookups, 0, "{hazard:?} has no forwarding network"),
+        }
+        assert!(b.get(CounterId::QReads) >= stats.samples, "one Q read per update");
+        assert!(b.get(CounterId::LfsrDraws) > 0, "ε-greedy draws every cycle");
+    }
+}
+
+#[test]
+fn table1_s64_counter_dump_is_pinned() {
+    let g = table1_s64();
+    let cfg = AccelConfig::default().with_seed(2020);
+    let mut eng = QLearningAccel::<Q8_8, CountersOnly>::with_sink(&g, cfg, CountersOnly);
+    let stats = eng.train_samples_fast(&g, 10_000);
+    let b = eng.counters();
+    // Pinned against the seed=2020 run: any change to counter
+    // attribution (or to the engines' RNG consumption order) shows up
+    // here as a named counter diff rather than a silent drift.
+    const GOLDEN: [(CounterId, u64); CounterId::COUNT] = [
+        (CounterId::SamplesRetired, 10_000),
+        (CounterId::FillCycles, 3),
+        (CounterId::StallStage1, 0),
+        (CounterId::StallStage2, 0),
+        (CounterId::FwdQHit, 542),
+        (CounterId::FwdQmaxHit, 169),
+        (CounterId::FwdMiss, 19_289),
+        (CounterId::QReads, 10_000),
+        (CounterId::QmaxReads, 20_000),
+        (CounterId::QWrites, 10_000),
+        (CounterId::QmaxWrites, 1_529),
+        (CounterId::PortConflicts, 0),
+        (CounterId::LfsrDraws, 10_039),
+    ];
+    for (id, want) in GOLDEN {
+        assert_eq!(b.get(id), want, "{}", id.name());
+    }
+    assert_eq!(b.total_stalls(), stats.stalls);
+    assert_eq!(b.total_forwards(), stats.forwards);
+    // The forwarding design stalls never: hit or miss, one lookup per
+    // Q read and per update-side Qmax read.
+    assert_eq!(
+        b.get(CounterId::FwdQHit) + b.get(CounterId::FwdQmaxHit) + b.get(CounterId::FwdMiss),
+        b.get(CounterId::QReads) + b.get(CounterId::QmaxReads) / 2,
+        "RMW read halves bypass the forwarding lookup"
+    );
+}
+
+#[test]
+fn jsonl_event_stream_and_counter_dump_round_trip() {
+    let g = grid();
+    let cfg = AccelConfig::default()
+        .with_seed(9)
+        .with_hazard(HazardMode::StallOnly);
+    let mut eng =
+        SarsaAccel::<Q8_8, JsonlSink<Vec<u8>>>::with_sink(&g, cfg, 0.2, JsonlSink::new(Vec::new()));
+    for _ in 0..200 {
+        eng.step(&g);
+    }
+    let counters_json = eng.counters().to_json().pretty();
+    let bytes = eng.into_sink().into_inner();
+    let text = String::from_utf8(bytes).expect("JSONL is UTF-8");
+
+    let (mut stages, mut commits, mut stall_pairs) = (0u64, 0u64, 0i64);
+    for line in text.lines() {
+        let v = json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        let t = v.get("t").and_then(|t| t.as_str()).expect("tagged event");
+        assert!(
+            matches!(
+                t,
+                "stage" | "hazard" | "stall_begin" | "stall_end" | "forward" | "commit"
+            ),
+            "unknown event type {t}"
+        );
+        assert!(v.get("cycle").and_then(|c| c.as_u64()).is_some(), "{line}");
+        match t {
+            "stage" => {
+                stages += 1;
+                let s = v.get("stage").and_then(|s| s.as_u64()).unwrap();
+                assert!((1..=4).contains(&s));
+            }
+            "commit" => {
+                let mem = v.get("mem").and_then(|m| m.as_str()).unwrap();
+                assert!(mem == "q" || mem == "qmax", "{mem}");
+                commits += 1;
+            }
+            "stall_begin" => stall_pairs += 1,
+            "stall_end" => stall_pairs -= 1,
+            _ => {}
+        }
+    }
+    assert_eq!(stages, 4 * 200, "four stage slots per retired iteration");
+    assert!(commits > 0, "in-flight writes must commit within 200 cycles");
+    assert_eq!(stall_pairs, 0, "every stall_begin has a matching stall_end");
+
+    // The pretty counter dump re-parses with one field per register.
+    let parsed = json::parse(&counters_json).expect("counter dump parses");
+    for id in CounterId::ALL {
+        assert!(
+            parsed.get(id.name()).and_then(|v| v.as_u64()).is_some(),
+            "missing counter {}",
+            id.name()
+        );
+    }
+    assert_eq!(
+        parsed
+            .get(CounterId::SamplesRetired.name())
+            .unwrap()
+            .as_u64()
+            .unwrap(),
+        200
+    );
+}

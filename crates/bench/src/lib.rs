@@ -28,6 +28,12 @@ pub mod paper;
 pub mod report;
 pub mod timing;
 
+// The JSON derive macro moved to the telemetry crate with the rest of
+// the emitter; re-exported at the old path so `crate::impl_to_json!`
+// call sites (and downstream `qtaccel_bench::impl_to_json` imports)
+// are unaffected.
+pub use qtaccel_telemetry::impl_to_json;
+
 /// Sample counts etc. scale down in quick mode so the experiment
 /// functions can run inside unit tests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -62,241 +62,31 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// A JSON value tree. The workspace builds with zero external crates,
-/// so result persistence uses this hand-rolled emitter instead of
-/// serde; experiment structs opt in with one [`impl_to_json!`] line.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    Null,
-    Bool(bool),
-    /// Signed integers keep full precision (no f64 round-trip).
-    Int(i64),
-    /// Unsigned integers keep full precision.
-    UInt(u64),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(&'static str, Json)>),
-}
-
-impl Json {
-    /// Pretty-print with 2-space indentation (the layout
-    /// `serde_json::to_string_pretty` produced, so existing result
-    /// consumers keep working).
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::UInt(u) => {
-                let _ = write!(out, "{u}");
-            }
-            Json::Num(n) => {
-                if n.is_finite() {
-                    // Rust's shortest-roundtrip Display; keep a decimal
-                    // point so the value reads back as a float.
-                    let s = format!("{n}");
-                    out.push_str(&s);
-                    if !s.contains(['.', 'e', 'E']) {
-                        out.push_str(".0");
-                    }
-                } else {
-                    // JSON has no NaN/Inf; null is the conventional spelling.
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => write_json_string(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(depth + 1));
-                    item.write(out, depth + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(depth));
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                if fields.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(depth + 1));
-                    write_json_string(out, k);
-                    out.push_str(": ");
-                    v.write(out, depth + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(depth));
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn write_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Conversion into the [`Json`] tree. Derived for experiment structs by
-/// [`impl_to_json!`].
-pub trait ToJson {
-    /// The JSON representation of `self`.
-    fn to_json(&self) -> Json;
-}
-
-macro_rules! to_json_uint {
-    ($($t:ty),+) => {$(
-        impl ToJson for $t {
-            fn to_json(&self) -> Json {
-                Json::UInt(*self as u64)
-            }
-        }
-    )+};
-}
-to_json_uint!(u8, u16, u32, u64, usize);
-
-macro_rules! to_json_int {
-    ($($t:ty),+) => {$(
-        impl ToJson for $t {
-            fn to_json(&self) -> Json {
-                Json::Int(*self as i64)
-            }
-        }
-    )+};
-}
-to_json_int!(i8, i16, i32, i64, isize);
-
-impl ToJson for f64 {
-    fn to_json(&self) -> Json {
-        Json::Num(*self)
-    }
-}
-
-impl ToJson for f32 {
-    fn to_json(&self) -> Json {
-        Json::Num(f64::from(*self))
-    }
-}
-
-impl ToJson for bool {
-    fn to_json(&self) -> Json {
-        Json::Bool(*self)
-    }
-}
-
-impl ToJson for String {
-    fn to_json(&self) -> Json {
-        Json::Str(self.clone())
-    }
-}
-
-impl ToJson for &str {
-    fn to_json(&self) -> Json {
-        Json::Str((*self).to_string())
-    }
-}
-
-impl<T: ToJson> ToJson for Option<T> {
-    fn to_json(&self) -> Json {
-        match self {
-            Some(v) => v.to_json(),
-            None => Json::Null,
-        }
-    }
-}
-
-impl<T: ToJson> ToJson for Vec<T> {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<T: ToJson> ToJson for [T] {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<T: ToJson, const N: usize> ToJson for [T; N] {
-    fn to_json(&self) -> Json {
-        Json::Arr(self.iter().map(ToJson::to_json).collect())
-    }
-}
-
-impl<A: ToJson, B: ToJson> ToJson for (A, B) {
-    fn to_json(&self) -> Json {
-        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
-    }
-}
-
-impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
-    fn to_json(&self) -> Json {
-        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
-    }
-}
-
-impl ToJson for Json {
-    fn to_json(&self) -> Json {
-        self.clone()
-    }
-}
-
-/// Derive [`ToJson`] for a struct by listing its fields: field order in
-/// the emitted object matches the listing.
-#[macro_export]
-macro_rules! impl_to_json {
-    ($ty:ty { $($field:ident),+ $(,)? }) => {
-        impl $crate::report::ToJson for $ty {
-            fn to_json(&self) -> $crate::report::Json {
-                $crate::report::Json::Obj(vec![
-                    $((stringify!($field), $crate::report::ToJson::to_json(&self.$field)),)+
-                ])
-            }
-        }
-    };
-}
+/// The JSON value tree and conversion trait, hosted by the telemetry
+/// crate since the perf-counter/event-trace work (the emitter grew a
+/// parser and a compact mode there); re-exported so experiment code and
+/// existing `qtaccel_bench::report::{Json, ToJson}` imports keep
+/// working. Derive [`ToJson`] for a struct with one
+/// [`impl_to_json!`](crate::impl_to_json) line.
+pub use qtaccel_telemetry::{Json, ToJson};
 
 /// Persist a result as pretty JSON under `results/`.
+///
+/// Top-level objects are stamped with a `manifest` field — git commit,
+/// dirty flag, wall-clock time and tool version (see
+/// `qtaccel_telemetry::manifest`) — so every emitted figure/table can be
+/// traced back to the tree that produced it. An experiment that already
+/// provides its own `manifest` field wins; non-object roots are written
+/// unmodified.
 pub fn save_json<T: ToJson>(name: &str, value: &T) -> PathBuf {
     let path = results_dir().join(format!("{name}.json"));
-    fs::write(&path, value.to_json().pretty()).expect("write result JSON");
+    let mut tree = value.to_json();
+    if let Json::Obj(fields) = &mut tree {
+        if !fields.iter().any(|(k, _)| *k == "manifest") {
+            fields.push(("manifest", qtaccel_telemetry::manifest::provenance()));
+        }
+    }
+    fs::write(&path, tree.pretty()).expect("write result JSON");
     path
 }
 
@@ -342,35 +132,8 @@ mod tests {
     }
 
     #[test]
-    fn json_scalars_and_escaping() {
-        assert_eq!(Json::Null.pretty(), "null");
-        assert_eq!(Json::Bool(true).pretty(), "true");
-        assert_eq!(Json::UInt(u64::MAX).pretty(), "18446744073709551615");
-        assert_eq!(Json::Int(-7).pretty(), "-7");
-        assert_eq!(Json::Num(1.5).pretty(), "1.5");
-        assert_eq!(Json::Num(3.0).pretty(), "3.0", "floats keep a decimal point");
-        assert_eq!(Json::Num(f64::NAN).pretty(), "null");
-        assert_eq!(
-            Json::Str("a\"b\\c\nd\u{1}".into()).pretty(),
-            r#""a\"b\\c\nd\u0001""#
-        );
-    }
-
-    #[test]
-    fn json_pretty_layout_matches_serde_style() {
-        let v = Json::Obj(vec![
-            ("rows", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
-            ("empty", Json::Arr(vec![])),
-            ("name", Json::Str("x".into())),
-        ]);
-        assert_eq!(
-            v.pretty(),
-            "{\n  \"rows\": [\n    1,\n    2\n  ],\n  \"empty\": [],\n  \"name\": \"x\"\n}"
-        );
-    }
-
-    #[test]
     fn impl_to_json_macro_round_trip() {
+        use crate::impl_to_json;
         struct Demo {
             n: usize,
             rate: f64,
@@ -395,10 +158,27 @@ mod tests {
     }
 
     #[test]
-    fn save_json_writes_to_results() {
+    fn save_json_stamps_a_provenance_manifest() {
         let p = save_json("__emitter_smoke", &Json::Obj(vec![("ok", Json::Bool(true))]));
         let body = std::fs::read_to_string(&p).unwrap();
-        assert_eq!(body, "{\n  \"ok\": true\n}");
+        assert!(body.starts_with("{\n  \"ok\": true,\n  \"manifest\": {"), "{body}");
+        // The stamped report re-parses through the telemetry parser.
+        let v = qtaccel_telemetry::json::parse(&body).unwrap();
+        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+        let m = v.get("manifest").expect("manifest attached");
+        assert!(m.get("git_commit").and_then(|c| c.as_str()).is_some());
+        assert!(m.get("unix_time").and_then(|t| t.as_u64()).is_some());
+        let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn save_json_respects_an_explicit_manifest() {
+        let p = save_json(
+            "__emitter_smoke_manual",
+            &Json::Obj(vec![("manifest", Json::Str("mine".into()))]),
+        );
+        let body = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(body, "{\n  \"manifest\": \"mine\"\n}");
         let _ = std::fs::remove_file(p);
     }
 }

@@ -21,12 +21,16 @@
 //!   resource reports and utilization, the calibrated fmax model behind
 //!   Fig. 6, and the power model behind Figs. 3/5.
 //! * [`pipeline`] — cycle bookkeeping shared by pipeline simulators.
+//! * [`regfile`] — the memory-mapped perf-counter register file backing
+//!   the telemetry layer's `CounterBank` (crate `qtaccel-telemetry`),
+//!   with a fabric cost entry in [`resource::perf_regfile_report`].
 
 pub mod bram;
 pub mod dsp;
 pub mod explut;
 pub mod lfsr;
 pub mod pipeline;
+pub mod regfile;
 pub mod resource;
 pub mod rng;
 
@@ -35,5 +39,6 @@ pub use dsp::dsp_slices_for_mul;
 pub use explut::ExpLut;
 pub use lfsr::{Lfsr16, Lfsr32, Lfsr64, NormalLfsr};
 pub use pipeline::CycleStats;
+pub use regfile::PerfRegFile;
 pub use resource::{Device, FmaxModel, PowerModel, ResourceReport, Utilization};
 pub use rng::{RngSource, SeedSequence};

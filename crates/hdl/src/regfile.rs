@@ -1,0 +1,116 @@
+//! Memory-mapped performance-counter register file.
+//!
+//! Real FPGA accelerators expose their debug/performance counters as a
+//! small bank of wide registers behind an address decoder: each event
+//! pulse increments one register through a dedicated adder, and a host
+//! readback port muxes the selected register onto a single data bus.
+//! [`PerfRegFile`] models that component — `pulse` is the increment port
+//! (one adder per register, so any number of counters can fire in the
+//! same cycle), `read` is the address-decoded readback mux.
+//!
+//! Counters are 64-bit and wrap on overflow, exactly as a hardware
+//! up-counter would; at one increment per cycle that is > 3000 years at
+//! 189 MHz, so wraparound is a modelling formality, not a practical
+//! concern. The fabric cost of the bank is estimated by
+//! [`crate::resource::perf_regfile_report`].
+
+/// A bank of memory-mapped 64-bit event counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfRegFile {
+    regs: Vec<u64>,
+}
+
+impl PerfRegFile {
+    /// A register file with `num_regs` counters, all reset to zero.
+    pub fn new(num_regs: usize) -> Self {
+        assert!(num_regs > 0, "register file must have at least one counter");
+        Self {
+            regs: vec![0; num_regs],
+        }
+    }
+
+    /// Number of counters in the bank.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the bank has no counters (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// Pulse the increment port of register `addr` by `delta`
+    /// (wrapping, as a hardware up-counter does).
+    ///
+    /// # Panics
+    /// If `addr` is outside the bank (address decode is exact; there is
+    /// no aliasing).
+    #[inline(always)]
+    pub fn pulse(&mut self, addr: usize, delta: u64) {
+        self.regs[addr] = self.regs[addr].wrapping_add(delta);
+    }
+
+    /// Read register `addr` through the readback mux.
+    #[inline(always)]
+    pub fn read(&self, addr: usize) -> u64 {
+        self.regs[addr]
+    }
+
+    /// Synchronous clear of every counter (the bank's reset line).
+    pub fn clear(&mut self) {
+        self.regs.fill(0);
+    }
+
+    /// The whole bank in address order (a full readback sweep).
+    pub fn as_slice(&self) -> &[u64] {
+        &self.regs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_accumulate() {
+        let mut rf = PerfRegFile::new(4);
+        assert_eq!(rf.len(), 4);
+        assert!(rf.as_slice().iter().all(|&v| v == 0));
+        rf.pulse(2, 1);
+        rf.pulse(2, 3);
+        rf.pulse(0, 1);
+        assert_eq!(rf.read(2), 4);
+        assert_eq!(rf.read(0), 1);
+        assert_eq!(rf.read(1), 0);
+    }
+
+    #[test]
+    fn clear_resets_every_register() {
+        let mut rf = PerfRegFile::new(3);
+        rf.pulse(0, 7);
+        rf.pulse(2, 9);
+        rf.clear();
+        assert!(rf.as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn wraps_like_a_hardware_counter() {
+        let mut rf = PerfRegFile::new(1);
+        rf.pulse(0, u64::MAX);
+        rf.pulse(0, 2);
+        assert_eq!(rf.read(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one counter")]
+    fn empty_bank_rejected() {
+        PerfRegFile::new(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_address_panics() {
+        let rf = PerfRegFile::new(2);
+        rf.read(2);
+    }
+}

@@ -134,6 +134,30 @@ impl ResourceReport {
     }
 }
 
+/// Fabric cost of a [`crate::regfile::PerfRegFile`] telemetry bank:
+/// `num_counters` registers of `counter_bits` flip-flops, one increment
+/// adder per register (~1 LUT/bit), a readback mux tree
+/// (`counter_bits` × ⌈n/2⌉ two-input muxes per level ≈ one LUT each at
+/// the first level, which dominates) and a small address decoder.
+///
+/// The bank is debug logic: it is *not* part of the baseline engine
+/// reports (the paper's design has no perf counters), and the simulator
+/// only adds this entry when an instrumented sink is attached — the
+/// disabled-by-default cost policy of DESIGN.md §2.6.
+pub fn perf_regfile_report(num_counters: u64, counter_bits: u64) -> ResourceReport {
+    let ff = num_counters * counter_bits;
+    let lut = num_counters * counter_bits          // increment adders
+        + counter_bits * num_counters.div_ceil(2)  // readback mux first level
+        + 8;                                       // address decode
+    ResourceReport {
+        dsp: 0,
+        bram36: 0,
+        uram: 0,
+        lut,
+        ff,
+    }
+}
+
 /// Resource utilization as percentages of a device's pools.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

@@ -1,0 +1,239 @@
+//! The accelerator's performance-counter bank.
+//!
+//! Thirteen 64-bit counters with a fixed register map (the addresses are
+//! part of the telemetry contract — DESIGN.md §2.6 documents the same
+//! table), backed by the HDL register-file model
+//! [`qtaccel_hdl::regfile::PerfRegFile`]. The bank is what a host would
+//! read back over the control bus after a training run: stall cycles by
+//! pipeline stage, forwarding hits split by table, memory port traffic,
+//! and LFSR draw counts.
+
+use crate::json::{Json, ToJson};
+use qtaccel_hdl::regfile::PerfRegFile;
+
+/// Register addresses of the perf-counter bank.
+///
+/// The discriminant *is* the register address; `CounterId::COUNT` is the
+/// bank size. New counters append — existing addresses never move, so
+/// dumps from different builds stay comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum CounterId {
+    /// 0: samples fully retired through stage 4.
+    SamplesRetired = 0,
+    /// 1: pipeline-fill bubble cycles (depth − 1 per cold start).
+    FillCycles = 1,
+    /// 2: stall cycles attributed to stage 1 (action read port).
+    StallStage1 = 2,
+    /// 3: stall cycles attributed to stage 2 (update-value read port).
+    StallStage2 = 3,
+    /// 4: RAW hazards resolved by forwarding from the Q-table write queue.
+    FwdQHit = 4,
+    /// 5: RAW hazards resolved by forwarding from the Qmax write queue.
+    FwdQmaxHit = 5,
+    /// 6: forwarding lookups that found no in-flight write (fell through
+    /// to the committed table).
+    FwdMiss = 6,
+    /// 7: Q-table read-port accesses.
+    QReads = 7,
+    /// 8: Qmax-table read-port accesses (including read-modify-write
+    /// reads inside the Qmax write-back unit).
+    QmaxReads = 8,
+    /// 9: Q-table write-port accesses.
+    QWrites = 9,
+    /// 10: Qmax-table write-port accesses (improved-max write-backs).
+    QmaxWrites = 10,
+    /// 11: same-cycle write-port conflicts (dual-pipeline shared-table
+    /// mode; zero on single pipelines).
+    PortConflicts = 11,
+    /// 12: LFSR draws consumed by action selection and start-state reset.
+    LfsrDraws = 12,
+}
+
+impl CounterId {
+    /// Number of counters in the bank.
+    pub const COUNT: usize = 13;
+
+    /// Every counter in address order.
+    pub const ALL: [CounterId; Self::COUNT] = [
+        CounterId::SamplesRetired,
+        CounterId::FillCycles,
+        CounterId::StallStage1,
+        CounterId::StallStage2,
+        CounterId::FwdQHit,
+        CounterId::FwdQmaxHit,
+        CounterId::FwdMiss,
+        CounterId::QReads,
+        CounterId::QmaxReads,
+        CounterId::QWrites,
+        CounterId::QmaxWrites,
+        CounterId::PortConflicts,
+        CounterId::LfsrDraws,
+    ];
+
+    /// Stable snake_case name, used as the JSON key in counter dumps.
+    pub const fn name(self) -> &'static str {
+        match self {
+            CounterId::SamplesRetired => "samples_retired",
+            CounterId::FillCycles => "fill_cycles",
+            CounterId::StallStage1 => "stall_stage1",
+            CounterId::StallStage2 => "stall_stage2",
+            CounterId::FwdQHit => "fwd_q_hit",
+            CounterId::FwdQmaxHit => "fwd_qmax_hit",
+            CounterId::FwdMiss => "fwd_miss",
+            CounterId::QReads => "q_reads",
+            CounterId::QmaxReads => "qmax_reads",
+            CounterId::QWrites => "q_writes",
+            CounterId::QmaxWrites => "qmax_writes",
+            CounterId::PortConflicts => "port_conflicts",
+            CounterId::LfsrDraws => "lfsr_draws",
+        }
+    }
+
+    /// The register address (the enum discriminant).
+    #[inline(always)]
+    pub const fn addr(self) -> usize {
+        self as usize
+    }
+}
+
+/// The accelerator's perf-counter bank: a [`PerfRegFile`] addressed by
+/// [`CounterId`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterBank {
+    regs: PerfRegFile,
+}
+
+impl Default for CounterBank {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CounterBank {
+    /// A bank with every counter at zero.
+    pub fn new() -> Self {
+        Self {
+            regs: PerfRegFile::new(CounterId::COUNT),
+        }
+    }
+
+    /// Increment `id` by one.
+    #[inline(always)]
+    pub fn inc(&mut self, id: CounterId) {
+        self.regs.pulse(id.addr(), 1);
+    }
+
+    /// Increment `id` by `delta`.
+    #[inline(always)]
+    pub fn add(&mut self, id: CounterId, delta: u64) {
+        self.regs.pulse(id.addr(), delta);
+    }
+
+    /// Current value of `id`.
+    #[inline(always)]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.regs.read(id.addr())
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&mut self) {
+        self.regs.clear();
+    }
+
+    /// Every `(id, value)` pair in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (CounterId, u64)> + '_ {
+        CounterId::ALL.iter().map(move |&id| (id, self.get(id)))
+    }
+
+    /// Sum of both per-stage stall counters — must equal
+    /// `CycleStats::stalls` for any run (the attribution invariant the
+    /// telemetry tests pin).
+    pub fn total_stalls(&self) -> u64 {
+        self.get(CounterId::StallStage1) + self.get(CounterId::StallStage2)
+    }
+
+    /// Sum of both forwarding-hit counters — must equal
+    /// `CycleStats::forwards`.
+    pub fn total_forwards(&self) -> u64 {
+        self.get(CounterId::FwdQHit) + self.get(CounterId::FwdQmaxHit)
+    }
+}
+
+impl ToJson for CounterBank {
+    /// A counter dump: one object field per register, in address order,
+    /// keyed by [`CounterId::name`].
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            CounterId::ALL
+                .iter()
+                .map(|&id| (id.name(), Json::UInt(self.get(id))))
+                .collect(),
+        )
+    }
+}
+
+impl ToJson for CounterId {
+    fn to_json(&self) -> Json {
+        Json::Str(self.name().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn register_map_is_stable() {
+        // These addresses are a public contract; changing one silently
+        // would corrupt cross-build dump comparisons.
+        assert_eq!(CounterId::SamplesRetired.addr(), 0);
+        assert_eq!(CounterId::FillCycles.addr(), 1);
+        assert_eq!(CounterId::StallStage1.addr(), 2);
+        assert_eq!(CounterId::StallStage2.addr(), 3);
+        assert_eq!(CounterId::FwdQHit.addr(), 4);
+        assert_eq!(CounterId::FwdQmaxHit.addr(), 5);
+        assert_eq!(CounterId::FwdMiss.addr(), 6);
+        assert_eq!(CounterId::QReads.addr(), 7);
+        assert_eq!(CounterId::QmaxReads.addr(), 8);
+        assert_eq!(CounterId::QWrites.addr(), 9);
+        assert_eq!(CounterId::QmaxWrites.addr(), 10);
+        assert_eq!(CounterId::PortConflicts.addr(), 11);
+        assert_eq!(CounterId::LfsrDraws.addr(), 12);
+        assert_eq!(CounterId::ALL.len(), CounterId::COUNT);
+        for (i, id) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(id.addr(), i, "ALL must be in address order");
+        }
+    }
+
+    #[test]
+    fn bank_accumulates_and_resets() {
+        let mut bank = CounterBank::new();
+        bank.inc(CounterId::FwdQHit);
+        bank.add(CounterId::StallStage1, 5);
+        bank.add(CounterId::StallStage2, 2);
+        assert_eq!(bank.get(CounterId::FwdQHit), 1);
+        assert_eq!(bank.total_stalls(), 7);
+        assert_eq!(bank.total_forwards(), 1);
+        bank.reset();
+        assert!(bank.iter().all(|(_, v)| v == 0));
+    }
+
+    #[test]
+    fn dump_round_trips_with_stable_keys() {
+        let mut bank = CounterBank::new();
+        bank.add(CounterId::QReads, 123);
+        bank.add(CounterId::LfsrDraws, 45);
+        let p = parse(&bank.to_json().pretty()).unwrap();
+        assert_eq!(p.get("q_reads").unwrap().as_u64(), Some(123));
+        assert_eq!(p.get("lfsr_draws").unwrap().as_u64(), Some(45));
+        assert_eq!(p.get("samples_retired").unwrap().as_u64(), Some(0));
+        // All 13 registers present.
+        if let crate::json::Parsed::Obj(fields) = &p {
+            assert_eq!(fields.len(), CounterId::COUNT);
+        } else {
+            panic!("dump must be an object");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Typed trace events with cycle timestamps.
+//!
+//! The cycle-accurate pipeline emits one [`Event`] per architecturally
+//! visible occurrence: a stage becoming occupied, a RAW hazard being
+//! detected, a stall interval, a forwarded operand, a table commit. Each
+//! event carries the simulation cycle it happened on, so a sink can
+//! reconstruct a waveform or a JSONL log that lines up with the
+//! perf-counter bank.
+//!
+//! The JSONL schema (one compact object per line) tags each record with a
+//! `"t"` discriminator: `stage`, `hazard`, `stall_begin`, `stall_end`,
+//! `forward`, `commit`. DESIGN.md §2.6 lists the per-type fields.
+
+use crate::json::{Json, ToJson};
+
+/// Which on-chip table a memory-related event refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// The Q-value table (|S|·|A| entries).
+    Q,
+    /// The Qmax/argmax table (|S| entries).
+    Qmax,
+}
+
+impl MemKind {
+    /// Stable lowercase name used in JSONL records.
+    pub const fn name(self) -> &'static str {
+        match self {
+            MemKind::Q => "q",
+            MemKind::Qmax => "qmax",
+        }
+    }
+}
+
+/// One structured trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A pipeline stage became occupied by an iteration.
+    Stage {
+        /// Cycle the stage is occupied on.
+        cycle: u64,
+        /// Stage number, 1–4.
+        stage: u8,
+        /// Zero-based training-iteration index occupying the stage.
+        iteration: u64,
+    },
+    /// A RAW hazard was detected against an in-flight write.
+    Hazard {
+        /// Cycle of the conflicting read.
+        cycle: u64,
+        /// Which table the hazard is against.
+        mem: MemKind,
+        /// Flat table address of the conflict.
+        addr: u64,
+    },
+    /// A stall interval opened (StallOnly hazard handling).
+    StallBegin {
+        /// First stalled cycle.
+        cycle: u64,
+        /// Which table the pipeline is waiting on.
+        mem: MemKind,
+        /// Flat table address being waited on.
+        addr: u64,
+    },
+    /// The matching stall interval closed.
+    StallEnd {
+        /// First cycle after the stall.
+        cycle: u64,
+    },
+    /// An operand was forwarded from the in-flight write queue.
+    Forward {
+        /// Cycle of the forwarded read.
+        cycle: u64,
+        /// Which table's queue served the value.
+        mem: MemKind,
+        /// Flat table address forwarded.
+        addr: u64,
+    },
+    /// An in-flight write retired into the committed table.
+    Commit {
+        /// Commit cycle of the write.
+        cycle: u64,
+        /// Which table was written.
+        mem: MemKind,
+        /// Flat table address written.
+        addr: u64,
+    },
+}
+
+impl Event {
+    /// The cycle timestamp carried by any event variant.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            Event::Stage { cycle, .. }
+            | Event::Hazard { cycle, .. }
+            | Event::StallBegin { cycle, .. }
+            | Event::StallEnd { cycle }
+            | Event::Forward { cycle, .. }
+            | Event::Commit { cycle, .. } => cycle,
+        }
+    }
+
+    /// The `"t"` discriminator used in JSONL records.
+    pub const fn type_name(&self) -> &'static str {
+        match self {
+            Event::Stage { .. } => "stage",
+            Event::Hazard { .. } => "hazard",
+            Event::StallBegin { .. } => "stall_begin",
+            Event::StallEnd { .. } => "stall_end",
+            Event::Forward { .. } => "forward",
+            Event::Commit { .. } => "commit",
+        }
+    }
+}
+
+impl ToJson for Event {
+    fn to_json(&self) -> Json {
+        let mut fields = vec![("t", Json::Str(self.type_name().to_string()))];
+        match *self {
+            Event::Stage {
+                cycle,
+                stage,
+                iteration,
+            } => {
+                fields.push(("cycle", Json::UInt(cycle)));
+                fields.push(("stage", Json::UInt(u64::from(stage))));
+                fields.push(("iteration", Json::UInt(iteration)));
+            }
+            Event::Hazard { cycle, mem, addr }
+            | Event::StallBegin { cycle, mem, addr }
+            | Event::Forward { cycle, mem, addr }
+            | Event::Commit { cycle, mem, addr } => {
+                fields.push(("cycle", Json::UInt(cycle)));
+                fields.push(("mem", Json::Str(mem.name().to_string())));
+                fields.push(("addr", Json::UInt(addr)));
+            }
+            Event::StallEnd { cycle } => {
+                fields.push(("cycle", Json::UInt(cycle)));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn every_variant_serializes_with_type_tag_and_cycle() {
+        let events = [
+            Event::Stage {
+                cycle: 4,
+                stage: 2,
+                iteration: 1,
+            },
+            Event::Hazard {
+                cycle: 5,
+                mem: MemKind::Q,
+                addr: 17,
+            },
+            Event::StallBegin {
+                cycle: 5,
+                mem: MemKind::Qmax,
+                addr: 3,
+            },
+            Event::StallEnd { cycle: 7 },
+            Event::Forward {
+                cycle: 8,
+                mem: MemKind::Q,
+                addr: 17,
+            },
+            Event::Commit {
+                cycle: 9,
+                mem: MemKind::Qmax,
+                addr: 3,
+            },
+        ];
+        for ev in events {
+            let p = parse(&ev.to_json().compact()).unwrap();
+            assert_eq!(p.get("t").unwrap().as_str(), Some(ev.type_name()));
+            assert_eq!(p.get("cycle").unwrap().as_u64(), Some(ev.cycle()));
+        }
+    }
+
+    #[test]
+    fn stage_event_carries_stage_and_iteration() {
+        let ev = Event::Stage {
+            cycle: 12,
+            stage: 4,
+            iteration: 9,
+        };
+        let p = parse(&ev.to_json().compact()).unwrap();
+        assert_eq!(p.get("stage").unwrap().as_u64(), Some(4));
+        assert_eq!(p.get("iteration").unwrap().as_u64(), Some(9));
+    }
+
+    #[test]
+    fn mem_events_name_the_table() {
+        let ev = Event::Forward {
+            cycle: 3,
+            mem: MemKind::Qmax,
+            addr: 41,
+        };
+        let p = parse(&ev.to_json().compact()).unwrap();
+        assert_eq!(p.get("mem").unwrap().as_str(), Some("qmax"));
+        assert_eq!(p.get("addr").unwrap().as_u64(), Some(41));
+    }
+}

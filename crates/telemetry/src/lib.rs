@@ -1,0 +1,40 @@
+#![deny(missing_docs)]
+
+//! Telemetry layer for the QTAccel simulators.
+//!
+//! Hardware teams debug accelerators through two complementary windows: a
+//! bank of memory-mapped performance counters (cheap, always summable)
+//! and a cycle-stamped event trace (expensive, exact). This crate models
+//! both for the QTAccel pipelines, plus the plumbing to persist them:
+//!
+//! * [`counters`] — [`CounterBank`]: thirteen 64-bit counters with a
+//!   stable register map (stalls by stage, forwarding hits by table,
+//!   memory-port traffic, LFSR draws), backed by the HDL
+//!   `PerfRegFile` model.
+//! * [`event`] — typed, cycle-stamped [`Event`]s: stage occupancy,
+//!   hazards, stall intervals, forwards, commits.
+//! * [`sink`] — the [`TraceSink`] trait and its implementations:
+//!   [`NullSink`] (default; compiles instrumentation away entirely),
+//!   [`CountersOnly`], bounded [`RingSink`], streaming [`JsonlSink`].
+//! * [`json`] — the workspace's dependency-free JSON emitter
+//!   ([`Json`]/[`ToJson`]/[`impl_to_json!`], moved here from
+//!   `qtaccel-bench`) plus a strict parser ([`json::parse`]) for
+//!   round-trip verification and baseline reading.
+//! * [`manifest`] — git/time provenance attached to persisted results.
+//!
+//! The cost contract: telemetry is **disabled by default and free when
+//! disabled**. Pipelines are generic over the sink; with [`NullSink`]
+//! every instrumentation site monomorphizes to nothing and the
+//! specialized fast-path executors remain engaged. DESIGN.md §2.6
+//! documents the register map, the JSONL event schema, and this policy.
+
+pub mod counters;
+pub mod event;
+pub mod json;
+pub mod manifest;
+pub mod sink;
+
+pub use counters::{CounterBank, CounterId};
+pub use event::{Event, MemKind};
+pub use json::{Json, ToJson};
+pub use sink::{CountersOnly, JsonlSink, NullSink, RingSink, TraceSink};

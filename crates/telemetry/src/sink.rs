@@ -1,0 +1,264 @@
+//! Trace sinks: where pipeline instrumentation sends its events.
+//!
+//! A pipeline is generic over one [`TraceSink`] implementation, chosen at
+//! compile time. The two associated consts are the whole cost story:
+//!
+//! * `EVENTS` — when `false`, every `sink.record(..)` call site sits
+//!   inside `if S::EVENTS { .. }` and monomorphizes away entirely.
+//! * `COUNTERS` — when `false`, the pipeline's counter-bank updates
+//!   vanish the same way, *and* the specialized fast executors stay
+//!   eligible.
+//!
+//! [`NullSink`] (both consts `false`) is the default; a pipeline built
+//! with it compiles to exactly the uninstrumented code, which is how the
+//! PR-1 throughput baseline is preserved (`scripts/verify.sh` guards
+//! this). [`CountersOnly`] keeps the perf-counter bank live but drops
+//! events, [`RingSink`] keeps the last N events in memory, and
+//! [`JsonlSink`] streams every event as one JSON line.
+
+use crate::event::Event;
+use crate::json::ToJson;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Receives structured trace events from an instrumented pipeline.
+///
+/// Implementations are chosen at compile time; the pipeline consults the
+/// two consts so that disabled telemetry costs literally zero
+/// instructions (see module docs).
+pub trait TraceSink {
+    /// Whether the pipeline should emit [`Event`]s to [`record`](Self::record).
+    const EVENTS: bool;
+    /// Whether the pipeline should maintain its perf-counter bank.
+    const COUNTERS: bool;
+
+    /// Receive one event. Never called when `EVENTS` is `false`.
+    fn record(&mut self, ev: &Event);
+
+    /// Iterations whose events this sink had to drop (bounded sinks
+    /// only); zero for unbounded and no-op sinks.
+    fn dropped_iterations(&self) -> u64 {
+        0
+    }
+
+    /// Flush any buffered output (file-backed sinks).
+    fn flush(&mut self) {}
+}
+
+/// The default sink: telemetry fully disabled, zero cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    const EVENTS: bool = false;
+    const COUNTERS: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _ev: &Event) {}
+}
+
+/// Perf counters on, event stream off: the cheap instrumented mode used
+/// for counter dumps in benchmark reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountersOnly;
+
+impl TraceSink for CountersOnly {
+    const EVENTS: bool = false;
+    const COUNTERS: bool = true;
+
+    #[inline(always)]
+    fn record(&mut self, _ev: &Event) {}
+}
+
+/// A bounded in-memory sink keeping the most recent events.
+///
+/// Eviction is oldest-first. Dropped *iterations* are counted by watching
+/// evicted stage-1 occupancy events — each training iteration emits
+/// exactly one — so the count matches [`PipelineTrace`]'s iteration-atomic
+/// accounting even though the ring evicts event-by-event.
+///
+/// [`PipelineTrace`]: https://docs.rs/qtaccel-accel (crate `qtaccel-accel`, `trace` module)
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingSink {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped_iterations: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        Self {
+            events: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped_iterations: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    const EVENTS: bool = true;
+    const COUNTERS: bool = true;
+
+    fn record(&mut self, ev: &Event) {
+        if self.events.len() == self.capacity {
+            if let Some(Event::Stage { stage: 1, .. }) = self.events.pop_front() {
+                self.dropped_iterations += 1;
+            }
+        }
+        self.events.push_back(*ev);
+    }
+
+    fn dropped_iterations(&self) -> u64 {
+        self.dropped_iterations
+    }
+}
+
+/// Streams every event as one compact JSON line (JSONL).
+///
+/// Generic over the writer so tests can capture into a `Vec<u8>`; the
+/// common case is [`JsonlSink::create`], which buffers to a file.
+pub struct JsonlSink<W: Write = BufWriter<File>> {
+    writer: W,
+    lines: u64,
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Create (truncate) `path` and stream events into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Stream events into `writer`.
+    pub fn new(writer: W) -> Self {
+        Self { writer, lines: 0 }
+    }
+
+    /// Number of event lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flush and return the underlying writer (tests use this to inspect
+    /// a captured `Vec<u8>`).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JsonlSink")
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    const EVENTS: bool = true;
+    const COUNTERS: bool = true;
+
+    fn record(&mut self, ev: &Event) {
+        // An I/O error mid-trace cannot unwind through the pipeline;
+        // panicking matches how the bench reporters treat write failures.
+        let line = ev.to_json().compact();
+        writeln!(self.writer, "{line}").expect("JSONL trace write failed");
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        self.writer.flush().expect("JSONL trace flush failed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemKind;
+    use crate::json::parse;
+
+    fn stage1(iteration: u64) -> Event {
+        Event::Stage {
+            cycle: iteration * 4,
+            stage: 1,
+            iteration,
+        }
+    }
+
+    #[test]
+    fn null_and_counters_only_flags() {
+        const {
+            assert!(!NullSink::EVENTS);
+            assert!(!NullSink::COUNTERS);
+            assert!(!CountersOnly::EVENTS);
+            assert!(CountersOnly::COUNTERS);
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_dropped_iterations() {
+        let mut ring = RingSink::new(3);
+        for i in 0..4 {
+            ring.record(&stage1(i));
+            ring.record(&Event::StallEnd { cycle: i * 4 + 1 });
+        }
+        assert_eq!(ring.len(), 3);
+        // 8 events through a 3-slot ring: 5 evicted, of which iterations
+        // 0 and 1's stage-1 events are gone, and iteration 2's stage-1
+        // event was also evicted (only the tail survives).
+        assert_eq!(ring.dropped_iterations(), 3);
+        let last = ring.events().last().unwrap();
+        assert_eq!(last.cycle(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn ring_rejects_zero_capacity() {
+        RingSink::new(0);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_parseable_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&stage1(0));
+        sink.record(&Event::Forward {
+            cycle: 2,
+            mem: MemKind::Q,
+            addr: 5,
+        });
+        assert_eq!(sink.lines(), 2);
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let p0 = parse(lines[0]).unwrap();
+        assert_eq!(p0.get("t").unwrap().as_str(), Some("stage"));
+        let p1 = parse(lines[1]).unwrap();
+        assert_eq!(p1.get("t").unwrap().as_str(), Some("forward"));
+        assert_eq!(p1.get("addr").unwrap().as_u64(), Some(5));
+    }
+}

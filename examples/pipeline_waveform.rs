@@ -11,20 +11,21 @@ use qtaccel::envs::GridWorld;
 use qtaccel::fixed::Q8_8;
 
 fn traced_run(cfg: AccelConfig, samples: u64) -> (PipelineTrace, f64) {
-    // A tiny world maximizes consecutive-update hazards.
+    // A tiny world maximizes consecutive-update hazards. The trace rides
+    // along as an attached telemetry sink — the pipeline feeds it stage
+    // events directly, no manual stall bookkeeping needed.
     let g = GridWorld::builder(2, 2).goal(1, 1).build();
-    let mut p = AccelPipeline::<Q8_8>::new(&g, cfg, 0);
-    let mut trace = PipelineTrace::new(8 * samples as usize);
-    let mut c1 = 0u64;
-    for i in 0..samples {
-        let before = p.stats();
+    let mut p = AccelPipeline::<Q8_8, PipelineTrace>::with_sink(
+        &g,
+        cfg,
+        0,
+        PipelineTrace::new(8 * samples as usize),
+    );
+    for _ in 0..samples {
         p.step(&g);
-        let stalls = p.stats().stalls - before.stalls;
-        trace.record_iteration(i, c1, stalls);
-        c1 += stalls + 1;
     }
     let spc = p.stats().samples_per_cycle();
-    (trace, spc)
+    (p.into_sink(), spc)
 }
 
 fn main() {

@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 verification: offline build, tests, lints, and the tracked
-# two-speed throughput baseline (refreshes BENCH_throughput.json).
+# Tier-1 verification: offline build, tests, lints, the telemetry
+# zero-cost equivalence suite, and an instrumented quick bench that
+# fails if the disabled-telemetry (NullSink) fast path regressed >5%
+# against the tracked BENCH_throughput.json baseline. The quick run
+# writes results/BENCH_throughput_quick.json; the tracked root baseline
+# is only refreshed by a full (no --quick) bench_throughput run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,10 +14,13 @@ cargo build --release --offline --workspace
 echo "== cargo test (offline) =="
 cargo test -q --offline --workspace
 
+echo "== telemetry equivalence suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test telemetry
+
 echo "== cargo clippy (offline, deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== bench_throughput --quick =="
-cargo run --release --offline -p qtaccel-bench --bin bench_throughput -- --quick
+echo "== bench_throughput --quick --check-baseline =="
+cargo run --release --offline -p qtaccel-bench --bin bench_throughput -- --quick --check-baseline
 
 echo "verify: OK"

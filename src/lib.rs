@@ -17,6 +17,10 @@
 //!   hazard forwarding, Qmax table, multi-pipeline and MAB engines.
 //! * [`baseline`] — comparison baselines: the FSM-per-state-action design
 //!   of Da Silva et al. and CPU software Q-learning.
+//! * [`telemetry`] — observability: the hardware-style perf-counter bank,
+//!   structured event-trace sinks (ring/JSONL) every engine accepts via
+//!   `with_sink`, and the JSON emitter/parser behind run reports. Off by
+//!   default and free when off (DESIGN.md §2.6).
 //!
 //! ## Quickstart
 //!
@@ -40,3 +44,4 @@ pub use qtaccel_core as core;
 pub use qtaccel_envs as envs;
 pub use qtaccel_fixed as fixed;
 pub use qtaccel_hdl as hdl;
+pub use qtaccel_telemetry as telemetry;
