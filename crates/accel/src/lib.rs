@@ -22,6 +22,11 @@
 //!   state-sharing pipelines over dual-port BRAM with write-collision
 //!   arbitration (Fig. 8) and N independent pipelines over partitioned
 //!   state spaces (Fig. 9).
+//! * [`executor`] — the host-side scale-out layer: a persistent
+//!   [`ShardedExecutor`] worker pool with a chunked work queue that runs
+//!   the `multi` configurations on however many cores the host offers
+//!   (bit-identical results at any worker count), plus the sharded
+//!   `train_batch` API with cache-blocked Q-table layouts.
 //! * [`bandit`] — the §VII-B Multi-Armed Bandit customization: the reward
 //!   table is replaced by Irwin–Hall LFSR normal samplers; ε-greedy and
 //!   EXP3 (probability-table) arm selection.
@@ -44,6 +49,7 @@
 
 pub mod bandit;
 pub mod config;
+pub mod executor;
 pub mod multi;
 pub mod pipeline;
 pub mod prob_engine;
@@ -55,8 +61,9 @@ pub mod trace;
 
 pub use bandit::{BanditAccel, BanditPolicy, StatefulBanditAccel};
 pub use config::{AccelConfig, HazardMode};
-pub use multi::{DualPipelineShared, IndependentPipelines};
-pub use pipeline::AccelPipeline;
+pub use executor::ShardedExecutor;
+pub use multi::{BatchReport, DualPipelineShared, IndependentPipelines, ShardRun};
+pub use pipeline::{AccelPipeline, FastLayout};
 pub use prob_engine::{ProbPolicyAccel, WeightRule};
 pub use qlearning::QLearningAccel;
 pub use resources::AccelResources;

@@ -12,12 +12,14 @@
 //!   block"). Linear throughput scaling bounded only by memory.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::config::{AccelConfig, HazardMode};
-use crate::pipeline::AccelPipeline;
+use crate::executor::{chunk_samples, ShardJob, ShardedExecutor};
+use crate::pipeline::{AccelPipeline, FastLayout};
 use crate::resources::{analyze, resource_report, AccelResources, EngineKind};
 use qtaccel_core::policy::Policy;
-use qtaccel_core::qtable::{MaxMode, QTable};
+use qtaccel_core::qtable::{MaxMode, QTable, QmaxTable};
 use qtaccel_core::trainer::{seed_unit, Transition};
 use qtaccel_envs::{sa_index, Action, Environment, RewardTable, State};
 use qtaccel_fixed::QValue;
@@ -464,6 +466,46 @@ impl<V: QValue> DualPipelineShared<V> {
     }
 }
 
+/// One shard's slice of a [`train_batch`] run.
+///
+/// [`train_batch`]: IndependentPipelines::train_batch
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRun {
+    /// Pipeline (= BRAM bank) index.
+    pub pipeline: usize,
+    /// Samples assigned to this shard by the deterministic split.
+    pub samples: u64,
+    /// Deterministic chunk size the work queue re-entered the shard at.
+    pub chunk: u64,
+    /// Q-table traversal layout the cache-blocking pick selected.
+    pub layout: FastLayout,
+}
+
+/// What a [`train_batch`] call did: merged cycle counters plus the
+/// per-shard plan, for scaling reports.
+///
+/// [`train_batch`]: IndependentPipelines::train_batch
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Merged cycle counters (wall-clock = slowest shard, samples sum).
+    pub stats: CycleStats,
+    /// Worker threads in the executor that ran the batch.
+    pub workers: usize,
+    /// The deterministic per-shard plan that was executed.
+    pub shards: Vec<ShardRun>,
+}
+
+/// Per-shard working set (the fused fast-path slab) above which
+/// [`train_batch`] switches from the action-major interleaved layout to
+/// the state-major separate-column layout. `bench_scaling`'s layout
+/// sweep (BENCH_scaling.json `layout_rows`) measured the fused slab
+/// winning at *every* Table I size on the reference host — a ~4 MB slab
+/// at |S| = 65536 × 8 actions still ran ~1.8× the column layout — so
+/// the crossover sits above the swept range and state-major only
+/// engages for tables far beyond the paper's (it stays reachable
+/// explicitly via [`FastLayout::StateMajor`]). See DESIGN.md §2.9.
+const CACHE_BLOCK_BYTES: usize = 1 << 26;
+
 /// N independent pipelines over disjoint sub-environments (Fig. 9).
 ///
 /// Generic over a [`TraceSink`] (default [`NullSink`] = telemetry off,
@@ -471,9 +513,17 @@ impl<V: QValue> DualPipelineShared<V> {
 /// [`with_sinks`](Self::with_sinks) and each pipeline keeps its own
 /// counter bank, mirroring the hardware where every memory bank carries
 /// its own monitor registers.
+///
+/// Training calls run on a persistent [`ShardedExecutor`] — the
+/// process-global pool by default, or a caller-supplied one via
+/// [`with_executor`](Self::with_executor). Results are bit-identical at
+/// every worker count (each pipeline's samples execute strictly in
+/// order; only scheduling varies), pinned by `tests/scaling.rs`.
 #[derive(Debug, Clone)]
 pub struct IndependentPipelines<V, S: TraceSink = NullSink> {
     pipes: Vec<AccelPipeline<V, S>>,
+    /// `None` = the process-global pool.
+    executor: Option<Arc<ShardedExecutor>>,
 }
 
 impl<V: QValue> IndependentPipelines<V> {
@@ -487,6 +537,7 @@ impl<V: QValue> IndependentPipelines<V> {
                 .enumerate()
                 .map(|(i, e)| AccelPipeline::new(e, config, i as u64))
                 .collect(),
+            executor: None,
         }
     }
 }
@@ -505,6 +556,23 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
                 .enumerate()
                 .map(|(i, (e, sink))| AccelPipeline::with_sink(e, config, i as u64, sink))
                 .collect(),
+            executor: None,
+        }
+    }
+
+    /// Run training calls on `executor` instead of the process-global
+    /// pool (e.g. a pool pinned to a specific worker count for scaling
+    /// sweeps). Clones share the pool.
+    pub fn with_executor(mut self, executor: Arc<ShardedExecutor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Worker threads in the executor training calls run on.
+    pub fn workers(&self) -> usize {
+        match self.executor.as_deref() {
+            Some(pool) => pool.workers(),
+            None => ShardedExecutor::global().workers(),
         }
     }
 
@@ -529,9 +597,58 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         self.pipes.is_empty()
     }
 
+    /// Submit one shard per pipeline to the executor: shard `i` runs
+    /// `budgets[i]` samples through `run`, re-entered in deterministic
+    /// chunks so the pool's work queue can interleave P ≫ C shards.
+    /// Blocks until the batch completes; per-shard state (tables, stats,
+    /// counter banks) is written lock-free by the owning shard and read
+    /// here only after the join.
+    fn drive<E, F>(&mut self, envs: &[E], budgets: &[u64], run: F) -> CycleStats
+    where
+        E: Environment + Sync,
+        S: Send,
+        F: Fn(usize, &mut AccelPipeline<V, S>, &E, u64) + Sync,
+    {
+        assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
+        assert_eq!(budgets.len(), self.pipes.len(), "one budget per pipeline");
+        if budgets.iter().all(|&b| b == 0) {
+            return self.stats();
+        }
+        // Clone the Arc so the pool reference cannot alias `self.pipes`.
+        let owned = self.executor.clone();
+        let pool: &ShardedExecutor = match owned.as_deref() {
+            Some(pool) => pool,
+            None => ShardedExecutor::global(),
+        };
+        let run = &run;
+        let shards: Vec<ShardJob<'_>> = self
+            .pipes
+            .iter_mut()
+            .zip(envs)
+            .zip(budgets)
+            .enumerate()
+            .filter(|(_, ((_, _), &budget))| budget > 0)
+            .map(|(i, ((pipe, env), &budget))| {
+                let chunk = chunk_samples(budget, pipe.num_states(), pipe.num_actions());
+                let mut left = budget;
+                Box::new(move || {
+                    let take = chunk.min(left);
+                    run(i, pipe, env, take);
+                    left -= take;
+                    left > 0
+                }) as ShardJob<'_>
+            })
+            .collect();
+        pool.run_shards(shards);
+        self.stats()
+    }
+
     /// Train every pipeline for `samples_each` updates on its own
-    /// environment. Pipelines are simulated on parallel host threads —
-    /// they share no state, exactly like the hardware banks.
+    /// environment. Shards run on the persistent [`ShardedExecutor`]
+    /// worker pool — they share no state, exactly like the hardware
+    /// banks, so results are bit-identical to
+    /// [`train_samples_sequential`](Self::train_samples_sequential) at
+    /// any worker count.
     pub fn train_samples<E: Environment + Sync>(
         &mut self,
         envs: &[E],
@@ -540,15 +657,10 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
     where
         S: Send,
     {
-        assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
-        std::thread::scope(|scope| {
-            for (pipe, env) in self.pipes.iter_mut().zip(envs) {
-                scope.spawn(move || {
-                    pipe.run_samples(env, samples_each);
-                });
-            }
-        });
-        self.stats()
+        let budgets = vec![samples_each; self.pipes.len()];
+        self.drive(envs, &budgets, |_, pipe, env, n| {
+            pipe.run_samples(env, n);
+        })
     }
 
     /// [`train_samples`](Self::train_samples) through the fast-path
@@ -562,15 +674,89 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
     where
         S: Send,
     {
+        let budgets = vec![samples_each; self.pipes.len()];
+        self.drive(envs, &budgets, |_, pipe, env, n| {
+            pipe.run_samples_fast(env, n);
+        })
+    }
+
+    /// The sequential reference for [`train_samples`](Self::train_samples):
+    /// every pipeline runs to completion on the calling thread, no
+    /// executor, no chunking. The scale-out determinism tests pin the
+    /// parallel paths bit-exactly to this.
+    pub fn train_samples_sequential<E: Environment>(
+        &mut self,
+        envs: &[E],
+        samples_each: u64,
+    ) -> CycleStats {
         assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
-        std::thread::scope(|scope| {
-            for (pipe, env) in self.pipes.iter_mut().zip(envs) {
-                scope.spawn(move || {
-                    pipe.run_samples_fast(env, samples_each);
-                });
-            }
-        });
+        for (pipe, env) in self.pipes.iter_mut().zip(envs) {
+            pipe.run_samples(env, samples_each);
+        }
         self.stats()
+    }
+
+    /// The sequential reference for
+    /// [`train_samples_fast`](Self::train_samples_fast).
+    pub fn train_samples_fast_sequential<E: Environment>(
+        &mut self,
+        envs: &[E],
+        samples_each: u64,
+    ) -> CycleStats {
+        assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
+        for (pipe, env) in self.pipes.iter_mut().zip(envs) {
+            pipe.run_samples_fast(env, samples_each);
+        }
+        self.stats()
+    }
+
+    /// Sharded batch training: split a *total* sample budget across the
+    /// banks (deterministically — shard `i` gets `total/P`, plus one of
+    /// the `total % P` remainder samples for `i < total % P`) and drive
+    /// every shard through the fast-path executor with a cache-blocked
+    /// Q-table layout picked per shard: the fused action-major slab when
+    /// the shard's working set fits the cache block, the leaner
+    /// state-major columns when it would thrash (see [`FastLayout`];
+    /// `bench_scaling` measures the crossover). Results are
+    /// bit-identical to running the same per-shard budgets sequentially
+    /// under any layout.
+    pub fn train_batch<E: Environment + Sync>(
+        &mut self,
+        envs: &[E],
+        total_samples: u64,
+    ) -> BatchReport
+    where
+        S: Send,
+    {
+        assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
+        let p = self.pipes.len() as u64;
+        let (base, extra) = (total_samples / p, total_samples % p);
+        let mut shards = Vec::with_capacity(self.pipes.len());
+        let mut budgets = Vec::with_capacity(self.pipes.len());
+        for (i, pipe) in self.pipes.iter().enumerate() {
+            let samples = base + u64::from((i as u64) < extra);
+            let layout = if pipe.fast_slab_bytes() <= CACHE_BLOCK_BYTES {
+                FastLayout::ActionMajor
+            } else {
+                FastLayout::StateMajor
+            };
+            shards.push(ShardRun {
+                pipeline: i,
+                samples,
+                chunk: chunk_samples(samples, pipe.num_states(), pipe.num_actions()),
+                layout,
+            });
+            budgets.push(samples);
+        }
+        let plan = &shards;
+        let stats = self.drive(envs, &budgets, |i, pipe, env, n| {
+            pipe.run_samples_fast_planned(env, n, plan[i].layout);
+        });
+        BatchReport {
+            stats,
+            workers: self.workers(),
+            shards,
+        }
     }
 
     /// Merged counters: wall-clock is the slowest pipeline, samples sum.
@@ -583,9 +769,25 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         merged
     }
 
+    /// Aggregate perf-counter snapshot over every bank: each pipeline's
+    /// bank accumulates lock-free on its own shard during training, and
+    /// this sums them after the join (all-zero with [`NullSink`]s).
+    pub fn merged_counters(&self) -> CounterBank {
+        let mut merged = CounterBank::new();
+        for p in &self.pipes {
+            merged.merge(p.counters());
+        }
+        merged
+    }
+
     /// Access pipeline `i`'s learned Q-table.
     pub fn q_table(&self, i: usize) -> QTable<V> {
         self.pipes[i].q_table()
+    }
+
+    /// Access pipeline `i`'s Qmax array (architectural view).
+    pub fn qmax_table(&self, i: usize) -> QmaxTable<V> {
+        self.pipes[i].qmax_table()
     }
 
     /// Greedy policy of pipeline `i`.

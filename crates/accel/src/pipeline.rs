@@ -248,6 +248,39 @@ struct FastCell<V> {
 /// Terminal-state flag in [`FastCell::next_packed`].
 const TERMINAL_BIT: u32 = 1 << 31;
 
+/// Q-table traversal layout for the fast-path executor — the
+/// cache-blocking knob batch training tunes per shard.
+///
+/// Both layouts are bit-identical in results (the `fast_path` and
+/// `scaling` equivalence suites pin this); they differ only in how the
+/// working set streams through the host cache hierarchy:
+///
+/// * [`ActionMajor`](Self::ActionMajor) — the fused [`FastCell`] slab:
+///   each state row's transition/reward/Q words interleave contiguously
+///   (one cache line per `Q8_8` × 8-action row). Fastest when the slab
+///   fits in-cache; costs an `O(|S|·|A|)` image build on first use and
+///   triples the bytes per row when it misses.
+/// * [`StateMajor`](Self::StateMajor) — the general fast path over the
+///   separate Q/reward/transition columns: each access touches only the
+///   2-byte Q word plus the column entries, the smaller footprint when
+///   the table far exceeds cache (and the only executor for
+///   instrumented sinks and non-default hazard/Qmax configs).
+/// * [`Auto`](Self::Auto) — the historical heuristic: divert to the
+///   fused slab when the configuration allows it and the run is long
+///   enough to amortize the image build.
+///
+/// `bench_scaling` measures the crossover; `IndependentPipelines::
+/// train_batch` picks a layout per shard from its table footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FastLayout {
+    /// Divert to the fused slab when eligible and amortized (default).
+    Auto,
+    /// Force the fused interleaved slab whenever the config is eligible.
+    ActionMajor,
+    /// Force the general separate-column executor.
+    StateMajor,
+}
+
 /// The pipeline core shared by the Q-Learning and SARSA engines (and, in
 /// pairs, by the dual-pipeline configuration).
 ///
@@ -421,6 +454,16 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
     /// Number of actions the tables are sized for.
     pub fn num_actions(&self) -> usize {
         self.num_actions
+    }
+
+    /// Bytes of the fused fast-path slab ([`FastLayout::ActionMajor`]'s
+    /// working set): `|S|·|A|` interleaved transition/reward/Q cells.
+    /// The cache-blocking layout pick in `train_batch` compares this
+    /// against its per-shard cache budget.
+    pub fn fast_slab_bytes(&self) -> usize {
+        self.num_states
+            .saturating_mul(self.num_actions)
+            .saturating_mul(core::mem::size_of::<FastCell<V>>())
     }
 
     // ---- memory model -------------------------------------------------
@@ -1168,27 +1211,50 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
     /// only to [`inject_q_bit_flip`](Self::inject_q_bit_flip) racing an
     /// in-flight write.
     pub fn run_samples_fast<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
+        self.run_samples_fast_planned(env, n, FastLayout::Auto)
+    }
+
+    /// [`run_samples_fast`](Self::run_samples_fast) with an explicit
+    /// Q-table traversal [`FastLayout`] — bit-identical results under
+    /// every layout, different cache behaviour (see [`FastLayout`]).
+    /// A forced [`FastLayout::ActionMajor`] falls back to the general
+    /// executor when the configuration is ineligible for the fused slab
+    /// (instrumented sink, non-forwarding hazard, exact-scan Qmax).
+    pub fn run_samples_fast_planned<E: Environment>(
+        &mut self,
+        env: &E,
+        n: u64,
+        layout: FastLayout,
+    ) -> CycleStats {
         debug_assert_eq!(env.num_states(), self.num_states, "environment mismatch");
         debug_assert_eq!(env.num_actions(), self.num_actions, "environment mismatch");
 
         // The default Forwarding + Qmax-array configuration never stalls,
         // which collapses the visibility horizons to fixed sample
         // distances: take the window-register executor. Its fused
-        // environment image costs O(|S|·|A|) to build, so only divert
-        // once a run is long enough to amortize the build — after which
-        // the cached image makes the executor worthwhile at any length.
-        // The executor is uninstrumented by design (its whole point is
-        // eliding per-access bookkeeping), so an instrumented sink takes
-        // the general fast path below, which mirrors every counter.
-        if n > 0
+        // environment image costs O(|S|·|A|) to build, so `Auto` only
+        // diverts once a run is long enough to amortize the build —
+        // after which the cached image makes the executor worthwhile at
+        // any length. The executor is uninstrumented by design (its
+        // whole point is eliding per-access bookkeeping), so an
+        // instrumented sink takes the general fast path below, which
+        // mirrors every counter.
+        let fused_eligible = n > 0
             && !S::COUNTERS
             && !S::EVENTS
             && self.config.hazard == HazardMode::Forwarding
             && self.config.trainer.max_mode == MaxMode::QmaxArray
-            && self.num_states < (1usize << 31)
-            && (self.fast_image.is_some()
-                || n as u128 >= (self.num_states * self.num_actions) as u128)
-        {
+            && self.num_states < (1usize << 31);
+        let take_fused = match layout {
+            FastLayout::ActionMajor => fused_eligible,
+            FastLayout::StateMajor => false,
+            FastLayout::Auto => {
+                fused_eligible
+                    && (self.fast_image.is_some()
+                        || n as u128 >= (self.num_states * self.num_actions) as u128)
+            }
+        };
+        if take_fused {
             return self.run_fast_forwarding_qmax(env, n);
         }
 

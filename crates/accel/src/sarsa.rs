@@ -9,7 +9,7 @@
 //! stage as the next-step action").
 
 use crate::config::AccelConfig;
-use crate::pipeline::AccelPipeline;
+use crate::pipeline::{AccelPipeline, FastLayout};
 use crate::resources::{analyze, with_perf_regfile, AccelResources, EngineKind};
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{QTable, QmaxTable};
@@ -86,6 +86,19 @@ impl<V: QValue, S: TraceSink> SarsaAccel<V, S> {
     /// throughput much higher (see `AccelPipeline::run_samples_fast`).
     pub fn train_samples_fast<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
         self.pipe.run_samples_fast(env, n)
+    }
+
+    /// [`train_samples_fast`](Self::train_samples_fast) with an explicit
+    /// Q-table traversal layout — the cache-blocking knob batch training
+    /// tunes per shard (see [`FastLayout`]). Results are bit-identical
+    /// under every layout.
+    pub fn train_samples_fast_planned<E: Environment>(
+        &mut self,
+        env: &E,
+        n: u64,
+        layout: FastLayout,
+    ) -> CycleStats {
+        self.pipe.run_samples_fast_planned(env, n, layout)
     }
 
     /// One update, exposed for tracing.

@@ -1,0 +1,224 @@
+//! Scale-out executor determinism (DESIGN.md §2.9).
+//!
+//! The paper's independent-pipeline mode (Fig. 9) is embarrassingly
+//! parallel in hardware — each pipeline owns its BRAM banks. The host
+//! executor must preserve that: training on the persistent worker pool
+//! has to be **bit-identical** to running every pipeline to completion
+//! on one thread, at every worker count, because only scheduling may
+//! vary — never results. These tests pin that contract for both
+//! engines, both algorithms, every hazard mode, instrumented and not,
+//! including P ≫ C oversubscription and `train_batch`'s uneven splits.
+
+use qtaccel_accel::config::{AccelConfig, HazardMode};
+use qtaccel_accel::executor::{host_parallelism, ShardedExecutor};
+use qtaccel_accel::multi::IndependentPipelines;
+use qtaccel_core::trainer::TrainerConfig;
+use qtaccel_envs::{ActionSet, PartitionedGrid};
+use qtaccel_fixed::Q8_8;
+use qtaccel_hdl::lfsr::Lfsr32;
+use qtaccel_telemetry::CountersOnly;
+use std::sync::Arc;
+
+const HAZARDS: [HazardMode; 3] = [
+    HazardMode::Forwarding,
+    HazardMode::StallOnly,
+    HazardMode::Ignore,
+];
+
+/// Worker counts the determinism contract is exercised at: serial pool,
+/// two and three workers (odd count ≠ pipeline count, so chunks
+/// interleave unevenly), and whatever the host really has.
+fn worker_counts() -> Vec<usize> {
+    let mut w = vec![1, 2, 3, host_parallelism()];
+    w.sort_unstable();
+    w.dedup();
+    w
+}
+
+fn four_banks(seed: u32) -> PartitionedGrid {
+    let mut rng = Lfsr32::new(seed);
+    PartitionedGrid::new(16, 16, 2, 2, 6, ActionSet::Four, &mut rng)
+}
+
+/// Assert two multi-pipeline instances are architecturally identical:
+/// per-bank Q tables, per-bank Qmax arrays, merged cycle stats, merged
+/// counter banks.
+fn assert_banks_identical<S: qtaccel_telemetry::TraceSink>(
+    a: &IndependentPipelines<Q8_8, S>,
+    b: &IndependentPipelines<Q8_8, S>,
+    label: &str,
+) {
+    assert_eq!(a.stats(), b.stats(), "{label}: merged CycleStats diverged");
+    assert_eq!(
+        a.merged_counters(),
+        b.merged_counters(),
+        "{label}: merged counters diverged"
+    );
+    for i in 0..a.len() {
+        assert_eq!(
+            a.q_table(i).as_slice(),
+            b.q_table(i).as_slice(),
+            "{label}: bank {i} Q-table diverged"
+        );
+        let (qa, qb) = (a.qmax_table(i), b.qmax_table(i));
+        for st in 0..qa.len() as qtaccel_envs::State {
+            assert_eq!(qa.get(st), qb.get(st), "{label}: bank {i} Qmax diverged at {st}");
+        }
+    }
+}
+
+#[test]
+fn parallel_cycle_accurate_matches_sequential_every_worker_count() {
+    for hazard in HAZARDS {
+        for sarsa in [false, true] {
+            let part = four_banks(11);
+            let mut cfg = AccelConfig::default().with_seed(77).with_hazard(hazard);
+            if sarsa {
+                cfg.trainer = TrainerConfig::sarsa(0.2).with_seed(77);
+            }
+            let mut reference = IndependentPipelines::<Q8_8>::new(part.partitions(), cfg);
+            reference.train_samples_sequential(part.partitions(), 4_000);
+            for workers in worker_counts() {
+                let pool = Arc::new(ShardedExecutor::new(workers));
+                let mut par = IndependentPipelines::<Q8_8>::new(part.partitions(), cfg)
+                    .with_executor(pool);
+                assert_eq!(par.workers(), workers);
+                par.train_samples(part.partitions(), 4_000);
+                assert_banks_identical(
+                    &reference,
+                    &par,
+                    &format!("cycle-accurate {hazard:?} sarsa={sarsa} workers={workers}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_fast_path_matches_sequential_every_worker_count() {
+    for hazard in HAZARDS {
+        for sarsa in [false, true] {
+            let part = four_banks(29);
+            let mut cfg = AccelConfig::default().with_seed(31).with_hazard(hazard);
+            if sarsa {
+                cfg.trainer = TrainerConfig::sarsa(0.15).with_seed(31);
+            }
+            let mut reference = IndependentPipelines::<Q8_8>::new(part.partitions(), cfg);
+            reference.train_samples_fast_sequential(part.partitions(), 6_000);
+            for workers in worker_counts() {
+                let pool = Arc::new(ShardedExecutor::new(workers));
+                let mut par = IndependentPipelines::<Q8_8>::new(part.partitions(), cfg)
+                    .with_executor(pool);
+                par.train_samples_fast(part.partitions(), 6_000);
+                assert_banks_identical(
+                    &reference,
+                    &par,
+                    &format!("fast {hazard:?} sarsa={sarsa} workers={workers}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_pipelines_remain_deterministic() {
+    // P ≫ C: sixteen banks on two workers, chunks interleaving freely.
+    let mut rng = Lfsr32::new(5);
+    let part = PartitionedGrid::new(16, 16, 4, 4, 8, ActionSet::Eight, &mut rng);
+    let cfg = AccelConfig::default().with_seed(303);
+    let mut reference = IndependentPipelines::<Q8_8>::new(part.partitions(), cfg);
+    reference.train_samples_fast_sequential(part.partitions(), 5_000);
+    let pool = Arc::new(ShardedExecutor::new(2));
+    let mut par =
+        IndependentPipelines::<Q8_8>::new(part.partitions(), cfg).with_executor(pool);
+    par.train_samples_fast(part.partitions(), 5_000);
+    assert_banks_identical(&reference, &par, "16 banks on 2 workers");
+}
+
+#[test]
+fn instrumented_counters_merge_identically_in_parallel() {
+    // Each bank's counter bank accumulates lock-free on its own shard;
+    // the merged dump must match the sequential run exactly.
+    for hazard in HAZARDS {
+        let part = four_banks(91);
+        let cfg = AccelConfig::default().with_seed(13).with_hazard(hazard);
+        let sinks = vec![CountersOnly; part.num_partitions()];
+        let mut reference = IndependentPipelines::<Q8_8, CountersOnly>::with_sinks(
+            part.partitions(),
+            cfg,
+            sinks.clone(),
+        );
+        reference.train_samples_sequential(part.partitions(), 3_000);
+        let pool = Arc::new(ShardedExecutor::new(3));
+        let mut par = IndependentPipelines::<Q8_8, CountersOnly>::with_sinks(
+            part.partitions(),
+            cfg,
+            sinks,
+        )
+        .with_executor(pool);
+        par.train_samples(part.partitions(), 3_000);
+        assert_banks_identical(&reference, &par, &format!("instrumented {hazard:?}"));
+        // The instrumented parallel run really counted something.
+        assert!(par.merged_counters().iter().any(|(_, v)| v > 0));
+    }
+}
+
+#[test]
+fn train_batch_is_worker_count_invariant() {
+    // An uneven total (not divisible by the bank count) exercises the
+    // deterministic remainder split; every worker count must produce
+    // the same tables, stats, and shard plan.
+    let part = four_banks(47);
+    let cfg = AccelConfig::default().with_seed(9);
+    let total = 10_003;
+    let pool1 = Arc::new(ShardedExecutor::new(1));
+    let mut first =
+        IndependentPipelines::<Q8_8>::new(part.partitions(), cfg).with_executor(pool1);
+    let plan = first.train_batch(part.partitions(), total);
+    assert_eq!(plan.workers, 1);
+    assert_eq!(plan.shards.iter().map(|s| s.samples).sum::<u64>(), total);
+    // Remainder goes to the lowest-indexed banks, one sample each.
+    assert_eq!(plan.shards[0].samples, total / 4 + 1);
+    assert_eq!(plan.shards[1].samples, total / 4 + 1);
+    assert_eq!(plan.shards[2].samples, total / 4 + 1);
+    assert_eq!(plan.shards[3].samples, total / 4);
+    for workers in worker_counts() {
+        let pool = Arc::new(ShardedExecutor::new(workers));
+        let mut other =
+            IndependentPipelines::<Q8_8>::new(part.partitions(), cfg).with_executor(pool);
+        let report = other.train_batch(part.partitions(), total);
+        assert_eq!(report.shards, plan.shards, "shard plan must not depend on workers");
+        assert_banks_identical(&first, &other, &format!("train_batch workers={workers}"));
+    }
+}
+
+#[test]
+fn train_batch_even_split_matches_fast_sequential() {
+    // When the total divides evenly, the batch is exactly
+    // `train_samples_fast` with per-bank budgets — transitively pinned
+    // to the cycle-accurate engine by the fast-path suite.
+    let part = four_banks(63);
+    let cfg = AccelConfig::default().with_seed(21);
+    let each = 2_500u64;
+    let mut reference = IndependentPipelines::<Q8_8>::new(part.partitions(), cfg);
+    reference.train_samples_fast_sequential(part.partitions(), each);
+    let pool = Arc::new(ShardedExecutor::new(2));
+    let mut batch =
+        IndependentPipelines::<Q8_8>::new(part.partitions(), cfg).with_executor(pool);
+    let report = batch.train_batch(part.partitions(), each * 4);
+    assert!(report.shards.iter().all(|s| s.samples == each));
+    assert_banks_identical(&reference, &batch, "even train_batch vs fast sequential");
+}
+
+#[test]
+fn global_pool_drives_default_training() {
+    // No explicit executor: the process-global pool serves the call.
+    let part = four_banks(17);
+    let cfg = AccelConfig::default().with_seed(3);
+    let mut reference = IndependentPipelines::<Q8_8>::new(part.partitions(), cfg);
+    reference.train_samples_fast_sequential(part.partitions(), 2_000);
+    let mut global = IndependentPipelines::<Q8_8>::new(part.partitions(), cfg);
+    assert!(global.workers() >= 1);
+    global.train_samples_fast(part.partitions(), 2_000);
+    assert_banks_identical(&reference, &global, "global pool");
+}

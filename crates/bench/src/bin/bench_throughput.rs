@@ -22,7 +22,13 @@
 //!
 //! The emitted report carries a telemetry block (the perf-counter dump
 //! of an instrumented re-run at the gate point plus the config that
-//! produced it) and a provenance manifest (git commit + timestamp).
+//! produced it) and a provenance manifest (git commit + timestamp +
+//! host parallelism + worker threads).
+//!
+//! `--threads N` pins the process-global shard pool to N workers and
+//! records the count in the manifest (the sweep itself is
+//! single-pipeline, so this only matters for consumers that also train
+//! multi-bank configs in the same process).
 
 use qtaccel_accel::{AccelConfig, QLearningAccel, SarsaAccel};
 use qtaccel_bench::grids::paper_grid;
@@ -224,19 +230,41 @@ fn baseline_fast_rate(path: &Path) -> Result<f64, String> {
 fn main() {
     let mut quick = false;
     let mut check_baseline = false;
-    for arg in std::env::args().skip(1) {
+    let mut threads: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--check-baseline" => check_baseline = true,
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --threads needs a positive integer");
+                        std::process::exit(2);
+                    });
+                threads = Some(n);
+            }
             other => {
                 eprintln!(
                     "error: unknown argument `{other}` \
-                     (supported: --quick, --check-baseline)"
+                     (supported: --quick, --check-baseline, --threads N)"
                 );
                 std::process::exit(2);
             }
         }
     }
+    // Single-pipeline sweeps run on the calling thread, but the flag
+    // still pins the process-global shard pool (anything the accel crate
+    // routes through it) and is recorded in the manifest so the report
+    // says what it ran with.
+    if let Some(n) = threads {
+        qtaccel_accel::executor::set_default_workers(n);
+    }
+    let worker_threads =
+        threads.unwrap_or_else(qtaccel_accel::executor::host_parallelism) as u64;
     // `samples` must cover |S|·|A| at the largest swept size so the fast
     // path's one-time environment-image build is amortized (and the
     // specialized executor actually engages on the first call).
@@ -323,7 +351,7 @@ fn main() {
                     path sits ~1 ns/sample above the memory-latency floor \
                     of the update loop on this host)",
         telemetry: gate_counter_dump(samples),
-        manifest: manifest::provenance(),
+        manifest: manifest::provenance_with_workers(worker_threads),
     };
     // Quick runs land in results/ so the tracked workspace-root baseline
     // only ever records the full sweep.

@@ -71,9 +71,32 @@ impl PartitionedGrid {
         &self.subs
     }
 
+    /// Iterate the sub-environments in pipeline order — the shard order
+    /// the scale-out executor assigns banks in, so zipping this with a
+    /// shard report lines indices up by construction.
+    pub fn iter(&self) -> core::slice::Iter<'_, GridWorld> {
+        self.subs.iter()
+    }
+
+    /// Total states across every partition (the terrain's full state
+    /// space — what an aggregate samples/sec figure is normalized by).
+    pub fn total_states(&self) -> usize {
+        use crate::env::Environment;
+        self.subs.iter().map(|g| g.num_states()).sum()
+    }
+
     /// Tiling shape `(tiles_x, tiles_y)`.
     pub fn shape(&self) -> (u32, u32) {
         (self.tiles_x, self.tiles_y)
+    }
+}
+
+impl<'a> IntoIterator for &'a PartitionedGrid {
+    type Item = &'a GridWorld;
+    type IntoIter = core::slice::Iter<'a, GridWorld>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -104,6 +127,20 @@ mod tests {
         // With different RNG draws, goals generally differ across tiles.
         let goals: Vec<_> = p.partitions().iter().map(|g| g.goal_state()).collect();
         assert_eq!(goals.len(), 4);
+    }
+
+    #[test]
+    fn iteration_matches_pipeline_order() {
+        let mut rng = Lfsr32::new(7);
+        let p = PartitionedGrid::new(16, 16, 2, 2, 10, ActionSet::Four, &mut rng);
+        let by_iter: Vec<_> = p.iter().map(|g| g.goal_state()).collect();
+        let by_index: Vec<_> = (0..p.num_partitions())
+            .map(|i| p.partition(i).goal_state())
+            .collect();
+        assert_eq!(by_iter, by_index, "iter() must follow bank order");
+        let by_for: Vec<_> = (&p).into_iter().map(|g| g.goal_state()).collect();
+        assert_eq!(by_for, by_index);
+        assert_eq!(p.total_states(), 16 * 16, "tiles cover the terrain");
     }
 
     #[test]

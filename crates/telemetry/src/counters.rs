@@ -141,6 +141,20 @@ impl CounterBank {
         self.regs.clear();
     }
 
+    /// Fold another bank's snapshot into this one, register by register.
+    ///
+    /// This is the scale-out aggregation primitive: every pipeline shard
+    /// accumulates into its *own* bank lock-free during training, and
+    /// the submitter merges the snapshots after the batch joins — the
+    /// merged dump is identical whether the shards ran sequentially or
+    /// on any number of workers (pinned by the `scaling` determinism
+    /// tests).
+    pub fn merge(&mut self, other: &CounterBank) {
+        for (id, value) in other.iter() {
+            self.add(id, value);
+        }
+    }
+
     /// Every `(id, value)` pair in address order.
     pub fn iter(&self) -> impl Iterator<Item = (CounterId, u64)> + '_ {
         CounterId::ALL.iter().map(move |&id| (id, self.get(id)))
@@ -218,6 +232,24 @@ mod tests {
         assert_eq!(bank.total_forwards(), 1);
         bank.reset();
         assert!(bank.iter().all(|(_, v)| v == 0));
+    }
+
+    #[test]
+    fn merge_sums_every_register() {
+        let mut a = CounterBank::new();
+        let mut b = CounterBank::new();
+        for (i, id) in CounterId::ALL.iter().enumerate() {
+            a.add(*id, i as u64 + 1);
+            b.add(*id, 100 * (i as u64 + 1));
+        }
+        a.merge(&b);
+        for (i, id) in CounterId::ALL.iter().enumerate() {
+            assert_eq!(a.get(*id), 101 * (i as u64 + 1), "{}", id.name());
+        }
+        // Merging a zero bank is the identity.
+        let snapshot = a.clone();
+        a.merge(&CounterBank::new());
+        assert_eq!(a, snapshot);
     }
 
     #[test]

@@ -50,19 +50,44 @@ pub fn unix_time() -> u64 {
         .unwrap_or(0)
 }
 
+/// The host's available parallelism (1 if unreadable). Recorded in
+/// every manifest so throughput and scaling JSONs produced on different
+/// machines stay interpretable — an aggregate rate means nothing
+/// without the core count it was measured on.
+pub fn host_parallelism() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
+}
+
 /// Build the provenance object attached to persisted results:
-/// `{ "git_commit", "git_dirty", "unix_time", "tool" }`.
+/// `{ "git_commit", "git_dirty", "unix_time", "host_parallelism",
+/// "tool" }`.
 pub fn provenance() -> Json {
     let git = git_info();
     Json::Obj(vec![
         ("git_commit", Json::Str(git.commit)),
         ("git_dirty", Json::Bool(git.dirty)),
         ("unix_time", Json::UInt(unix_time())),
+        ("host_parallelism", Json::UInt(host_parallelism())),
         (
             "tool",
             Json::Str(format!("qtaccel-telemetry {}", env!("CARGO_PKG_VERSION"))),
         ),
     ])
+}
+
+/// [`provenance`] plus the worker-thread count a scale-out run used —
+/// the pair (`host_parallelism`, `worker_threads`) is what makes a
+/// recorded parallel-efficiency figure reproducible.
+pub fn provenance_with_workers(worker_threads: u64) -> Json {
+    match provenance() {
+        Json::Obj(mut fields) => {
+            fields.push(("worker_threads", Json::UInt(worker_threads)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
 }
 
 #[cfg(test)]
@@ -77,12 +102,21 @@ mod tests {
         assert!(!commit.is_empty());
         assert!(p.get("git_dirty").unwrap().as_bool().is_some());
         assert!(p.get("unix_time").unwrap().as_u64().is_some());
+        assert!(p.get("host_parallelism").unwrap().as_u64().unwrap() >= 1);
         assert!(p
             .get("tool")
             .unwrap()
             .as_str()
             .unwrap()
             .starts_with("qtaccel-telemetry"));
+    }
+
+    #[test]
+    fn worker_manifest_extends_provenance() {
+        let p = parse(&provenance_with_workers(6).pretty()).unwrap();
+        assert_eq!(p.get("worker_threads").unwrap().as_u64(), Some(6));
+        assert!(p.get("host_parallelism").unwrap().as_u64().unwrap() >= 1);
+        assert!(p.get("git_commit").is_some());
     }
 
     #[test]

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification: offline build, tests, lints, the telemetry
-# zero-cost equivalence suite, and an instrumented quick bench that
-# fails if the disabled-telemetry (NullSink) fast path regressed >5%
-# against the tracked BENCH_throughput.json baseline. The quick run
-# writes results/BENCH_throughput_quick.json; the tracked root baseline
-# is only refreshed by a full (no --quick) bench_throughput run.
+# zero-cost equivalence suite, and two instrumented quick benches that
+# fail if (a) the disabled-telemetry (NullSink) fast path or (b) the
+# scale-out executor's aggregate rate regressed >5% against the tracked
+# BENCH_throughput.json / BENCH_scaling.json baselines. Quick runs
+# write results/BENCH_*_quick.json; the tracked root baselines are only
+# refreshed by full (no --quick) runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,10 +18,16 @@ cargo test -q --offline --workspace
 echo "== telemetry equivalence suite (release) =="
 cargo test -q --release --offline -p qtaccel-accel --test telemetry
 
+echo "== scale-out determinism suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test scaling
+
 echo "== cargo clippy (offline, deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "== bench_throughput --quick --check-baseline =="
 cargo run --release --offline -p qtaccel-bench --bin bench_throughput -- --quick --check-baseline
+
+echo "== bench_scaling --quick --check-baseline =="
+cargo run --release --offline -p qtaccel-bench --bin bench_scaling -- --quick --check-baseline
 
 echo "verify: OK"
