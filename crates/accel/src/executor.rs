@@ -44,12 +44,14 @@
 //!
 //! [`CounterBank`]: qtaccel_telemetry::CounterBank
 
+use qtaccel_telemetry::{Histogram, MetricsRegistry};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One shard of a batch: called repeatedly, runs one bounded chunk of
 /// work per call, returns `true` while work remains.
@@ -83,6 +85,9 @@ struct BatchCtl {
 struct QueuedChunk {
     batch: *const BatchCtl,
     idx: usize,
+    /// Enqueue timestamp, set only on instrumented pools (feeds the
+    /// queue-wait histogram).
+    enqueued: Option<Instant>,
 }
 // SAFETY: the pointee outlives every queued chunk (latch protocol) and
 // all shared access goes through the BatchCtl mutexes.
@@ -92,6 +97,144 @@ unsafe impl Send for QueuedChunk {}
 struct PoolShared {
     queue: Mutex<PoolQueue>,
     work: Condvar,
+    /// Introspection state; `None` on uninstrumented pools, whose hot
+    /// path then pays one pointer test per *chunk* (chunks are ≥ 64K
+    /// samples — see [`chunk_samples`] — so this is noise).
+    metrics: Option<Arc<ExecutorMetrics>>,
+}
+
+/// Busy/idle accounting for one worker thread. All counters are relaxed
+/// atomics: they are statistics, ordered by the batch latch when read.
+#[derive(Debug, Default)]
+struct WorkerCounters {
+    busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
+    chunks: AtomicU64,
+}
+
+/// One worker's introspection snapshot (see
+/// [`ExecutorMetrics::worker_snapshots`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Worker index (matches the `qtaccel-shard-{i}` thread name).
+    pub worker: usize,
+    /// Nanoseconds spent executing chunks.
+    pub busy_ns: u64,
+    /// Nanoseconds spent parked or waiting for work.
+    pub idle_ns: u64,
+    /// Chunks executed.
+    pub chunks: u64,
+}
+
+#[derive(Debug, Default)]
+struct LatencyHistograms {
+    chunk_service_ns: Histogram,
+    queue_wait_ns: Histogram,
+}
+
+/// Introspection state of an instrumented [`ShardedExecutor`] (created
+/// with [`ShardedExecutor::new_instrumented`]): per-worker busy/idle
+/// time, chunk-service-time and queue-wait histograms, and a sampled
+/// queue-depth gauge. Uninstrumented pools carry none of this — the
+/// zero-cost-when-off telemetry policy extends to the executor.
+#[derive(Debug)]
+pub struct ExecutorMetrics {
+    workers: Vec<WorkerCounters>,
+    latency: Mutex<LatencyHistograms>,
+    queue_depth: AtomicU64,
+    queue_depth_peak: AtomicU64,
+}
+
+impl ExecutorMetrics {
+    fn new(threads: usize) -> Self {
+        Self {
+            workers: (0..threads).map(|_| WorkerCounters::default()).collect(),
+            latency: Mutex::new(LatencyHistograms::default()),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Per-worker busy/idle/chunk accounting, in worker order.
+    pub fn worker_snapshots(&self) -> Vec<WorkerSnapshot> {
+        self.workers
+            .iter()
+            .enumerate()
+            .map(|(worker, c)| WorkerSnapshot {
+                worker,
+                busy_ns: c.busy_ns.load(Ordering::Relaxed),
+                idle_ns: c.idle_ns.load(Ordering::Relaxed),
+                chunks: c.chunks.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Distribution of wall-clock nanoseconds one chunk execution took.
+    pub fn chunk_service_ns(&self) -> Histogram {
+        lock_unpoisoned(&self.latency).chunk_service_ns.clone()
+    }
+
+    /// Distribution of nanoseconds chunks sat queued before a worker
+    /// picked them up.
+    pub fn queue_wait_ns(&self) -> Histogram {
+        lock_unpoisoned(&self.latency).queue_wait_ns.clone()
+    }
+
+    /// Queue depth sampled at the most recent chunk pop.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Deepest the queue has been (sampled at push).
+    pub fn queue_depth_peak(&self) -> u64 {
+        self.queue_depth_peak.load(Ordering::Relaxed)
+    }
+
+    /// Publish the executor's introspection state into a registry under
+    /// the stable `qtaccel_executor_*` names DESIGN.md §2.10 lists.
+    pub fn register_into(&self, registry: &mut MetricsRegistry) {
+        let snaps = self.worker_snapshots();
+        registry.set_gauge(
+            "qtaccel_executor_workers",
+            "persistent workers in the sharded executor pool",
+            snaps.len() as f64,
+        );
+        registry.set_counter(
+            "qtaccel_executor_busy_ns_total",
+            "nanoseconds workers spent executing chunks, summed across workers",
+            snaps.iter().map(|s| s.busy_ns).sum(),
+        );
+        registry.set_counter(
+            "qtaccel_executor_idle_ns_total",
+            "nanoseconds workers spent parked or waiting, summed across workers",
+            snaps.iter().map(|s| s.idle_ns).sum(),
+        );
+        registry.set_counter(
+            "qtaccel_executor_chunks_total",
+            "shard chunks executed by the pool",
+            snaps.iter().map(|s| s.chunks).sum(),
+        );
+        registry.set_gauge(
+            "qtaccel_executor_queue_depth",
+            "work-queue depth sampled at the most recent chunk pop",
+            self.queue_depth() as f64,
+        );
+        registry.set_gauge(
+            "qtaccel_executor_queue_depth_peak",
+            "deepest the work queue has been",
+            self.queue_depth_peak() as f64,
+        );
+        registry.set_histogram(
+            "qtaccel_executor_chunk_service_ns",
+            "wall-clock nanoseconds one chunk execution took",
+            &self.chunk_service_ns(),
+        );
+        registry.set_histogram(
+            "qtaccel_executor_queue_wait_ns",
+            "nanoseconds chunks sat queued before a worker picked them up",
+            &self.queue_wait_ns(),
+        );
+    }
 }
 
 struct PoolQueue {
@@ -137,6 +280,20 @@ pub fn set_default_workers(n: usize) -> bool {
 impl ShardedExecutor {
     /// A pool with `threads` persistent workers (clamped to ≥ 1).
     pub fn new(threads: usize) -> Self {
+        Self::build(threads, false)
+    }
+
+    /// An introspectable pool: same scheduling, plus the
+    /// [`ExecutorMetrics`] accounting (per-worker busy/idle time,
+    /// chunk/queue latency histograms, queue-depth gauges). The cost is
+    /// two `Instant::now` reads and a few relaxed atomics per *chunk* —
+    /// invisible next to the ≥ 64K samples a chunk executes — but the
+    /// default pool stays literally unchanged.
+    pub fn new_instrumented(threads: usize) -> Self {
+        Self::build(threads, true)
+    }
+
+    fn build(threads: usize, instrumented: bool) -> Self {
         let threads = threads.max(1);
         let shared = Arc::new(PoolShared {
             queue: Mutex::new(PoolQueue {
@@ -144,17 +301,24 @@ impl ShardedExecutor {
                 shutdown: false,
             }),
             work: Condvar::new(),
+            metrics: instrumented.then(|| Arc::new(ExecutorMetrics::new(threads))),
         });
         let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("qtaccel-shard-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn shard worker")
             })
             .collect();
         Self { shared, workers }
+    }
+
+    /// The pool's introspection state; `None` unless the pool was built
+    /// with [`new_instrumented`](Self::new_instrumented).
+    pub fn metrics(&self) -> Option<&ExecutorMetrics> {
+        self.shared.metrics.as_deref()
     }
 
     /// A pool sized to the host's available parallelism.
@@ -221,8 +385,17 @@ impl ShardedExecutor {
 
         {
             let mut q = lock_unpoisoned(&self.shared.queue);
+            let enqueued = self.shared.metrics.is_some().then(Instant::now);
             for idx in 0..n {
-                q.jobs.push_back(QueuedChunk { batch: &ctl, idx });
+                q.jobs.push_back(QueuedChunk {
+                    batch: &ctl,
+                    idx,
+                    enqueued,
+                });
+            }
+            if let Some(m) = &self.shared.metrics {
+                m.queue_depth_peak
+                    .fetch_max(q.jobs.len() as u64, Ordering::Relaxed);
             }
         }
         // One wake per queued shard: notify_all would also wake workers
@@ -260,12 +433,18 @@ impl Drop for ShardedExecutor {
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn worker_loop(shared: &PoolShared, worker: usize) {
+    let metrics = shared.metrics.as_deref();
     loop {
+        let idle_start = metrics.map(|_| Instant::now());
         let job = {
             let mut q = lock_unpoisoned(&shared.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
+                    if let Some(m) = metrics {
+                        // Sample the depth left behind at this pop.
+                        m.queue_depth.store(q.jobs.len() as u64, Ordering::Relaxed);
+                    }
                     break job;
                 }
                 // Drain the queue before honouring shutdown so a pool
@@ -276,19 +455,49 @@ fn worker_loop(shared: &PoolShared) {
                 q = shared.work.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         };
+        if let Some(m) = metrics {
+            let now = Instant::now();
+            if let Some(start) = idle_start {
+                m.workers[worker]
+                    .idle_ns
+                    .fetch_add((now - start).as_nanos() as u64, Ordering::Relaxed);
+            }
+            if let Some(enqueued) = job.enqueued {
+                lock_unpoisoned(&m.latency)
+                    .queue_wait_ns
+                    .observe((now - enqueued).as_nanos() as u64);
+            }
+        }
 
         // SAFETY: the batch outlives the job (latch protocol).
         let batch = unsafe { &*job.batch };
+        let busy_start = metrics.map(|_| Instant::now());
         let outcome = {
             let mut shard = lock_unpoisoned(&batch.shards[job.idx]);
             catch_unwind(AssertUnwindSafe(&mut *shard))
         };
+        if let (Some(m), Some(start)) = (metrics, busy_start) {
+            let elapsed = start.elapsed().as_nanos() as u64;
+            m.workers[worker]
+                .busy_ns
+                .fetch_add(elapsed, Ordering::Relaxed);
+            m.workers[worker].chunks.fetch_add(1, Ordering::Relaxed);
+            lock_unpoisoned(&m.latency)
+                .chunk_service_ns
+                .observe(elapsed);
+        }
         match outcome {
             Ok(true) => {
                 // More chunks: requeue at the tail for fair interleave.
                 {
                     let mut q = lock_unpoisoned(&shared.queue);
+                    let mut job = job;
+                    job.enqueued = metrics.map(|_| Instant::now());
                     q.jobs.push_back(job);
+                    if let Some(m) = metrics {
+                        m.queue_depth_peak
+                            .fetch_max(q.jobs.len() as u64, Ordering::Relaxed);
+                    }
                 }
                 shared.work.notify_one();
             }
@@ -437,6 +646,39 @@ mod tests {
         assert_eq!(chunk_samples(0, 64, 4), 1);
         // Large tables widen the chunk so the fused image still engages.
         assert_eq!(chunk_samples(10_000_000, 16_384, 8), 16_384 * 8);
+    }
+
+    #[test]
+    fn instrumented_pool_accounts_chunks_and_latency() {
+        let pool = ShardedExecutor::new_instrumented(2);
+        let counters: Vec<AtomicU64> = (0..4).map(|_| AtomicU64::new(0)).collect();
+        pool.run_shards(counting_shards(&counters, 3));
+        let m = pool.metrics().expect("instrumented pool exposes metrics");
+        let snaps = m.worker_snapshots();
+        assert_eq!(snaps.len(), 2);
+        // 4 shards x 3 chunks each, every one accounted exactly once.
+        assert_eq!(snaps.iter().map(|s| s.chunks).sum::<u64>(), 12);
+        assert_eq!(m.chunk_service_ns().count(), 12);
+        assert_eq!(m.queue_wait_ns().count(), 12);
+        // 4 shards pushed at once: the queue must have reached 4 deep.
+        assert!(m.queue_depth_peak() >= 4, "{}", m.queue_depth_peak());
+        // Workers have been parked at least since the batch drained.
+        assert!(snaps.iter().map(|s| s.idle_ns).sum::<u64>() > 0);
+
+        let mut reg = MetricsRegistry::new();
+        m.register_into(&mut reg);
+        assert!(reg.get("qtaccel_executor_chunks_total").is_some());
+        assert!(reg.get("qtaccel_executor_queue_depth").is_some());
+        assert!(reg.get("qtaccel_executor_chunk_service_ns").is_some());
+        assert!(reg.get("qtaccel_executor_queue_wait_ns").is_some());
+    }
+
+    #[test]
+    fn uninstrumented_pool_carries_no_metrics() {
+        let pool = ShardedExecutor::new(2);
+        assert!(pool.metrics().is_none());
+        // The global pool is uninstrumented too.
+        assert!(ShardedExecutor::global().metrics().is_none());
     }
 
     #[test]

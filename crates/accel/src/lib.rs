@@ -26,7 +26,11 @@
 //!   [`ShardedExecutor`] worker pool with a chunked work queue that runs
 //!   the `multi` configurations on however many cores the host offers
 //!   (bit-identical results at any worker count), plus the sharded
-//!   `train_batch` API with cache-blocked Q-table layouts.
+//!   `train_batch` API with cache-blocked Q-table layouts. Pools built
+//!   with [`ShardedExecutor::new_instrumented`] expose
+//!   [`ExecutorMetrics`] — per-worker busy/idle time, chunk-latency
+//!   histograms, queue-depth gauges — for the DESIGN.md §2.10 metrics
+//!   service.
 //! * [`bandit`] — the §VII-B Multi-Armed Bandit customization: the reward
 //!   table is replaced by Irwin–Hall LFSR normal samplers; ε-greedy and
 //!   EXP3 (probability-table) arm selection.
@@ -61,7 +65,7 @@ pub mod trace;
 
 pub use bandit::{BanditAccel, BanditPolicy, StatefulBanditAccel};
 pub use config::{AccelConfig, HazardMode};
-pub use executor::ShardedExecutor;
+pub use executor::{ExecutorMetrics, ShardedExecutor, WorkerSnapshot};
 pub use multi::{BatchReport, DualPipelineShared, IndependentPipelines, ShardRun};
 pub use pipeline::{AccelPipeline, FastLayout};
 pub use prob_engine::{ProbPolicyAccel, WeightRule};

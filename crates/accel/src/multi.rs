@@ -493,6 +493,13 @@ pub struct BatchReport {
     pub workers: usize,
     /// The deterministic per-shard plan that was executed.
     pub shards: Vec<ShardRun>,
+    /// Cumulative iterations whose events the attached sinks have had to
+    /// drop, summed across banks as of batch completion (bounded sinks
+    /// like `RingSink` evict; the fast path itself emits no events, so
+    /// nonzero values originate from cycle-accurate runs on the same
+    /// sinks). Zero for unbounded and no-op sinks — a nonzero value
+    /// flags that the retained trace is *not* the complete run.
+    pub dropped_iterations: u64,
 }
 
 /// Per-shard working set (the fused fast-path slab) above which
@@ -756,7 +763,14 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             stats,
             workers: self.workers(),
             shards,
+            dropped_iterations: self.dropped_iterations(),
         }
+    }
+
+    /// Cumulative iterations dropped by the attached sinks, summed
+    /// across banks (see [`BatchReport::dropped_iterations`]).
+    pub fn dropped_iterations(&self) -> u64 {
+        self.pipes.iter().map(|p| p.sink().dropped_iterations()).sum()
     }
 
     /// Merged counters: wall-clock is the slowest pipeline, samples sum.

@@ -8,7 +8,9 @@
 
 use crate::config::AccelConfig;
 use crate::pipeline::{AccelPipeline, FastLayout};
-use crate::resources::{analyze, with_perf_regfile, AccelResources, EngineKind};
+use crate::resources::{
+    analyze, with_histogram_regfile, with_perf_regfile, AccelResources, EngineKind,
+};
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{QTable, QmaxTable};
 use qtaccel_core::trainer::Transition;
@@ -128,8 +130,11 @@ impl<V: QValue, S: TraceSink> QLearningAccel<V, S> {
     /// Structural resources, modeled fmax/throughput/power for this
     /// instance (Figs. 3, 4, 6). When a counter-bearing sink is attached
     /// the perf-counter bank's fabric cost is included (see
-    /// [`with_perf_regfile`]); with telemetry off the report is the
-    /// uninstrumented baseline.
+    /// [`with_perf_regfile`]); an event-emitting sink additionally folds
+    /// in the stall-run-length histogram monitor
+    /// ([`with_histogram_regfile`] — the monitor is fed from the stall
+    /// event stream, so it only exists when that stream does); with
+    /// telemetry off the report is the uninstrumented baseline.
     pub fn resources(&self) -> AccelResources {
         let res = analyze(
             self.pipe.num_states(),
@@ -142,8 +147,13 @@ impl<V: QValue, S: TraceSink> QLearningAccel<V, S> {
                 if self.pipe.stats().samples == 0 { 1.0 } else { 0.0 },
             ),
         );
-        if S::COUNTERS {
+        let res = if S::COUNTERS {
             with_perf_regfile(res, self.pipe.config())
+        } else {
+            res
+        };
+        if S::EVENTS {
+            with_histogram_regfile(res, self.pipe.config())
         } else {
             res
         }

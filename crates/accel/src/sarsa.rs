@@ -10,7 +10,9 @@
 
 use crate::config::AccelConfig;
 use crate::pipeline::{AccelPipeline, FastLayout};
-use crate::resources::{analyze, with_perf_regfile, AccelResources, EngineKind};
+use crate::resources::{
+    analyze, with_histogram_regfile, with_perf_regfile, AccelResources, EngineKind,
+};
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{QTable, QmaxTable};
 use qtaccel_core::trainer::Transition;
@@ -128,7 +130,9 @@ impl<V: QValue, S: TraceSink> SarsaAccel<V, S> {
 
     /// Structural resources, modeled fmax/throughput/power (Figs. 4, 5,
     /// 6). When a counter-bearing sink is attached the perf-counter
-    /// bank's fabric cost is included (see [`with_perf_regfile`]).
+    /// bank's fabric cost is included (see [`with_perf_regfile`]); an
+    /// event-emitting sink additionally folds in the stall-run-length
+    /// histogram monitor ([`with_histogram_regfile`]).
     pub fn resources(&self) -> AccelResources {
         let res = analyze(
             self.pipe.num_states(),
@@ -140,8 +144,13 @@ impl<V: QValue, S: TraceSink> SarsaAccel<V, S> {
                 if self.pipe.stats().samples == 0 { 1.0 } else { 0.0 },
             ),
         );
-        if S::COUNTERS {
+        let res = if S::COUNTERS {
             with_perf_regfile(res, self.pipe.config())
+        } else {
+            res
+        };
+        if S::EVENTS {
+            with_histogram_regfile(res, self.pipe.config())
         } else {
             res
         }

@@ -28,14 +28,21 @@
 //! in the manifest. Combining it with `--check-baseline` compares
 //! against whatever gate config the committed baseline recorded, so the
 //! guard in `scripts/verify.sh` runs without `--threads`.
+//!
+//! `--metrics-addr ADDR` (e.g. `127.0.0.1:0`) serves the run's latency
+//! probe as an OpenMetrics scrape endpoint until the process exits; the
+//! same probe's histogram summaries land in the report's `latency`
+//! block either way (DESIGN.md §2.10).
 
 use qtaccel_accel::executor::{host_parallelism, set_default_workers, ShardedExecutor};
 use qtaccel_accel::{AccelConfig, FastLayout, IndependentPipelines, QLearningAccel};
 use qtaccel_bench::grids::paper_grid;
 use qtaccel_bench::impl_to_json;
+use qtaccel_bench::metrics::measure_latency;
 use qtaccel_bench::report::{fmt_rate, results_dir};
 use qtaccel_bench::timing::bench;
 use qtaccel_fixed::Q8_8;
+use qtaccel_telemetry::export::MetricsServer;
 use qtaccel_telemetry::{json, manifest, Json, ToJson};
 use std::path::Path;
 use std::path::PathBuf;
@@ -112,6 +119,10 @@ struct Report {
     gate_speedup: f64,
     gate_target: f64,
     gate_note: String,
+    /// Latency-probe histogram summaries (chunk service, queue wait,
+    /// stall run lengths) from `qtaccel_bench::metrics::measure_latency`
+    /// — DESIGN.md §2.10.
+    latency: Json,
     /// Provenance plus `host_parallelism` / `worker_threads` — the pair
     /// that makes a recorded efficiency figure reproducible.
     manifest: Json,
@@ -130,6 +141,7 @@ impl_to_json!(Report {
     gate_speedup,
     gate_target,
     gate_note,
+    latency,
     manifest,
 });
 
@@ -229,6 +241,7 @@ fn main() {
     let mut quick = false;
     let mut check_baseline = false;
     let mut threads: Option<usize> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -245,10 +258,17 @@ fn main() {
                     });
                 threads = Some(n);
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --metrics-addr needs an address (e.g. 127.0.0.1:0)");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "error: unknown argument `{other}` \
-                     (supported: --quick, --check-baseline, --threads N)"
+                     (supported: --quick, --check-baseline, --threads N, \
+                     --metrics-addr ADDR)"
                 );
                 std::process::exit(2);
             }
@@ -365,6 +385,26 @@ fn main() {
         })
     });
 
+    // Latency probe at the gate shape (after the timed sweep so its
+    // instrumented pool cannot perturb the measurements above); quick
+    // mode shrinks the probe batch.
+    let latency = if quick {
+        measure_latency(1024, GATE_PIPES, 400_000)
+    } else {
+        measure_latency(GATE_BANK_STATES, GATE_PIPES, 2_000_000)
+    };
+    // Opt-in OpenMetrics endpoint; the server lives to the end of main
+    // so `curl http://ADDR/metrics` works while the report is written.
+    let _metrics_server = metrics_addr.map(|addr| {
+        let server = MetricsServer::serve(&addr).unwrap_or_else(|e| {
+            eprintln!("error: --metrics-addr {addr}: {e}");
+            std::process::exit(2);
+        });
+        server.update(|reg| latency.register_into(reg));
+        println!("metrics: serving OpenMetrics on http://{}/metrics", server.addr());
+        server
+    });
+
     let report = Report {
         quick,
         actions: ACTIONS,
@@ -384,6 +424,7 @@ fn main() {
              by min(workers, cores) — the regression guard compares the \
              recorded same-machine aggregate rate, not the target"
         ),
+        latency: latency.to_json(),
         manifest: manifest::provenance_with_workers(gate_workers as u64),
     };
     let path: PathBuf = if quick {

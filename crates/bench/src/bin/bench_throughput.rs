@@ -29,14 +29,21 @@
 //! records the count in the manifest (the sweep itself is
 //! single-pipeline, so this only matters for consumers that also train
 //! multi-bank configs in the same process).
+//!
+//! `--metrics-addr ADDR` (e.g. `127.0.0.1:0`) serves the run's latency
+//! probe as an OpenMetrics scrape endpoint until the process exits; the
+//! same probe's histogram summaries land in the report's `latency`
+//! block either way (DESIGN.md §2.10).
 
 use qtaccel_accel::{AccelConfig, QLearningAccel, SarsaAccel};
 use qtaccel_bench::grids::paper_grid;
 use qtaccel_bench::impl_to_json;
+use qtaccel_bench::metrics::measure_latency;
 use qtaccel_bench::paper::TABLE1_STATES;
 use qtaccel_bench::report::{fmt_rate, results_dir};
 use qtaccel_bench::timing::bench;
 use qtaccel_fixed::Q8_8;
+use qtaccel_telemetry::export::MetricsServer;
 use qtaccel_telemetry::{json, manifest, CountersOnly, Json, ToJson};
 use std::path::Path;
 use std::path::PathBuf;
@@ -92,6 +99,10 @@ struct Report {
     /// Perf-counter dump of an instrumented re-run at the gate point
     /// (DESIGN.md §2.6) plus the config that produced it.
     telemetry: Json,
+    /// Latency-probe histogram summaries (chunk service, queue wait,
+    /// stall run lengths) from `qtaccel_bench::metrics::measure_latency`
+    /// — DESIGN.md §2.10.
+    latency: Json,
     /// Git commit / dirty flag / timestamp of the producing tree.
     manifest: Json,
 }
@@ -107,6 +118,7 @@ impl_to_json!(Report {
     gate_target,
     gate_note,
     telemetry,
+    latency,
     manifest,
 });
 
@@ -231,6 +243,7 @@ fn main() {
     let mut quick = false;
     let mut check_baseline = false;
     let mut threads: Option<usize> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -247,10 +260,17 @@ fn main() {
                     });
                 threads = Some(n);
             }
+            "--metrics-addr" => {
+                metrics_addr = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("error: --metrics-addr needs an address (e.g. 127.0.0.1:0)");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "error: unknown argument `{other}` \
-                     (supported: --quick, --check-baseline, --threads N)"
+                     (supported: --quick, --check-baseline, --threads N, \
+                     --metrics-addr ADDR)"
                 );
                 std::process::exit(2);
             }
@@ -334,6 +354,27 @@ fn main() {
         })
     });
 
+    // Latency probe (after the timed sweep so its instrumented pool
+    // cannot perturb the measurements above): chunk-service / queue-wait
+    // / stall-run-length histograms for the report and, when requested,
+    // the scrape endpoint. Quick mode shrinks the probe batch.
+    let latency = if quick {
+        measure_latency(1024, 4, 400_000)
+    } else {
+        measure_latency(GATE_STATES / 4, 4, 2_000_000)
+    };
+    // Opt-in OpenMetrics endpoint; the server lives to the end of main
+    // so `curl http://ADDR/metrics` works while the report is written.
+    let _metrics_server = metrics_addr.map(|addr| {
+        let server = MetricsServer::serve(&addr).unwrap_or_else(|e| {
+            eprintln!("error: --metrics-addr {addr}: {e}");
+            std::process::exit(2);
+        });
+        server.update(|reg| latency.register_into(reg));
+        println!("metrics: serving OpenMetrics on http://{}/metrics", server.addr());
+        server
+    });
+
     let report = Report {
         quick,
         actions: ACTIONS,
@@ -351,6 +392,7 @@ fn main() {
                     path sits ~1 ns/sample above the memory-latency floor \
                     of the update loop on this host)",
         telemetry: gate_counter_dump(samples),
+        latency: latency.to_json(),
         manifest: manifest::provenance_with_workers(worker_threads),
     };
     // Quick runs land in results/ so the tracked workspace-root baseline

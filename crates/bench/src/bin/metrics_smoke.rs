@@ -1,0 +1,63 @@
+//! End-to-end smoke test of the metrics service (DESIGN.md §2.10),
+//! runnable in seconds: run the latency probe, serve it on an ephemeral
+//! port, scrape it back over HTTP, and assert the acceptance payload —
+//! OpenMetrics-parseable text carrying the perf-counter bank, the
+//! executor queue-depth gauge, and at least three histogram families
+//! with p50/p90/p99 companions. `scripts/verify.sh` runs this binary;
+//! it exits non-zero on any missing piece.
+
+use qtaccel_bench::metrics::measure_latency;
+use qtaccel_telemetry::export::{check_openmetrics, scrape, MetricsServer};
+
+fn main() {
+    // Small probe: 2 banks × |S|=256, 200k samples — a couple hundred
+    // milliseconds, but enough chunks to populate every histogram.
+    let latency = measure_latency(256, 2, 200_000);
+
+    let server = MetricsServer::serve("127.0.0.1:0").unwrap_or_else(|e| {
+        eprintln!("metrics smoke: FAILED to bind ephemeral port: {e}");
+        std::process::exit(1);
+    });
+    server.update(|reg| latency.register_into(reg));
+    println!("metrics smoke: serving on http://{}/metrics", server.addr());
+
+    let body = scrape(server.addr()).unwrap_or_else(|e| {
+        eprintln!("metrics smoke: FAILED to scrape: {e}");
+        std::process::exit(1);
+    });
+    if let Err(e) = check_openmetrics(&body) {
+        eprintln!("metrics smoke: FAILED OpenMetrics validation: {e}");
+        std::process::exit(1);
+    }
+
+    let mut failed = false;
+    let mut require = |needle: &str| {
+        if !body.contains(needle) {
+            eprintln!("metrics smoke: FAILED — scrape lacks {needle:?}");
+            failed = true;
+        }
+    };
+    require("qtaccel_samples_total 200000\n");
+    require("# TYPE qtaccel_executor_queue_depth gauge\n");
+    for hist in [
+        "qtaccel_executor_chunk_service_ns",
+        "qtaccel_executor_queue_wait_ns",
+        "qtaccel_stall_run_cycles",
+    ] {
+        require(&format!("# TYPE {hist} histogram\n"));
+        for q in ["p50", "p90", "p99"] {
+            require(&format!("{hist}_{q} "));
+        }
+    }
+    if failed {
+        eprintln!("---- scrape body ----\n{body}");
+        std::process::exit(1);
+    }
+
+    let families = body.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    println!(
+        "metrics smoke: OK ({} metric families, {} bytes scraped)",
+        families,
+        body.len()
+    );
+}

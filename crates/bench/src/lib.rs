@@ -24,6 +24,7 @@
 
 pub mod experiments;
 pub mod grids;
+pub mod metrics;
 pub mod paper;
 pub mod report;
 pub mod timing;

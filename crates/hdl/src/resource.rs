@@ -158,6 +158,31 @@ pub fn perf_regfile_report(num_counters: u64, counter_bits: u64) -> ResourceRepo
     }
 }
 
+/// Fabric cost of a log2-bucketed histogram monitor (the stall-run-length
+/// / latency distribution hardware the telemetry `Histogram` models):
+/// `num_buckets` bucket counters of `counter_bits` flip-flops plus one
+/// running-sum register, a 64-bit leading-zero count (priority encoder,
+/// ~96 LUTs) to pick the bucket, one increment adder per bucket, and the
+/// same first-level readback mux tree as [`perf_regfile_report`].
+///
+/// Like the perf-counter bank, this is debug logic: the simulator only
+/// folds it into an engine's resource report when an *event-emitting*
+/// sink is attached (the stall-interval stream is what feeds the
+/// monitor), keeping the disabled-by-default cost policy.
+pub fn histogram_regfile_report(num_buckets: u64, counter_bits: u64) -> ResourceReport {
+    let ff = num_buckets * counter_bits + counter_bits; // buckets + running sum
+    let lut = num_buckets * counter_bits          // increment adders
+        + counter_bits * num_buckets.div_ceil(2)  // readback mux first level
+        + 96;                                     // 64-bit LZC bucket select
+    ResourceReport {
+        dsp: 0,
+        bram36: 0,
+        uram: 0,
+        lut,
+        ff,
+    }
+}
+
 /// Resource utilization as percentages of a device's pools.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -374,6 +399,22 @@ mod tests {
         let two = m.throughput_msps(&d, 1024, 2.0);
         assert_eq!(two, 2.0 * one);
         assert_eq!(one, 189.0);
+    }
+
+    #[test]
+    fn telemetry_regfile_reports_scale_with_width() {
+        let perf = perf_regfile_report(13, 64);
+        assert_eq!(perf.ff, 13 * 64);
+        assert_eq!(perf.lut, 13 * 64 + 64 * 7 + 8);
+        // The histogram monitor: 65 buckets of 64 bits + sum register,
+        // and strictly more LUTs than a same-width counter bank (the LZC
+        // bucket select costs more than plain address decode).
+        let hist = histogram_regfile_report(65, 64);
+        assert_eq!(hist.ff, 65 * 64 + 64);
+        assert_eq!(hist.lut, 65 * 64 + 64 * 33 + 96);
+        assert!(hist.lut > perf_regfile_report(65, 64).lut);
+        assert_eq!(hist.dsp, 0);
+        assert_eq!(hist.bram36, 0);
     }
 
     #[test]

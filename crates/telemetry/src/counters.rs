@@ -95,6 +95,29 @@ impl CounterId {
     pub const fn addr(self) -> usize {
         self as usize
     }
+
+    /// Stable scrape-endpoint metric name under the `qtaccel_*` scheme
+    /// (DESIGN.md §2.10): `qtaccel_<register>_total`, with the headline
+    /// throughput counter shortened to `qtaccel_samples_total`. Like the
+    /// register addresses, these names are a published contract — they
+    /// never change meaning, and new counters append.
+    pub const fn metric_name(self) -> &'static str {
+        match self {
+            CounterId::SamplesRetired => "qtaccel_samples_total",
+            CounterId::FillCycles => "qtaccel_fill_cycles_total",
+            CounterId::StallStage1 => "qtaccel_stall_stage1_total",
+            CounterId::StallStage2 => "qtaccel_stall_stage2_total",
+            CounterId::FwdQHit => "qtaccel_fwd_q_hit_total",
+            CounterId::FwdQmaxHit => "qtaccel_fwd_qmax_hit_total",
+            CounterId::FwdMiss => "qtaccel_fwd_miss_total",
+            CounterId::QReads => "qtaccel_q_reads_total",
+            CounterId::QmaxReads => "qtaccel_qmax_reads_total",
+            CounterId::QWrites => "qtaccel_q_writes_total",
+            CounterId::QmaxWrites => "qtaccel_qmax_writes_total",
+            CounterId::PortConflicts => "qtaccel_port_conflicts_total",
+            CounterId::LfsrDraws => "qtaccel_lfsr_draws_total",
+        }
+    }
 }
 
 /// The accelerator's perf-counter bank: a [`PerfRegFile`] addressed by
@@ -218,6 +241,24 @@ mod tests {
         assert_eq!(CounterId::ALL.len(), CounterId::COUNT);
         for (i, id) in CounterId::ALL.iter().enumerate() {
             assert_eq!(id.addr(), i, "ALL must be in address order");
+        }
+    }
+
+    #[test]
+    fn metric_names_are_stable_and_well_formed() {
+        // Scrape names are a published contract like the addresses.
+        assert_eq!(
+            CounterId::SamplesRetired.metric_name(),
+            "qtaccel_samples_total"
+        );
+        assert_eq!(
+            CounterId::LfsrDraws.metric_name(),
+            "qtaccel_lfsr_draws_total"
+        );
+        for id in CounterId::ALL {
+            let n = id.metric_name();
+            assert!(n.starts_with("qtaccel_"), "{n}");
+            assert!(n.ends_with("_total"), "{n}");
         }
     }
 

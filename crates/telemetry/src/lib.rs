@@ -21,20 +21,35 @@
 //!   `qtaccel-bench`) plus a strict parser ([`json::parse`]) for
 //!   round-trip verification and baseline reading.
 //! * [`manifest`] — git/time provenance attached to persisted results.
+//! * [`histogram`] — log2-bucketed latency [`Histogram`]s (mergeable
+//!   like counter banks, p50/p90/p99 summaries) and the
+//!   [`MetricsRegistry`] of named `qtaccel_*` counters, gauges, and
+//!   histograms that the scrape endpoint serves.
+//! * [`export`] — the ways out of the process: an OpenMetrics text
+//!   encoder with a std-only scrape endpoint ([`MetricsServer`]), and a
+//!   Chrome trace-event (Perfetto-loadable) converter for event streams
+//!   ([`export::chrome_trace`]).
 //!
 //! The cost contract: telemetry is **disabled by default and free when
 //! disabled**. Pipelines are generic over the sink; with [`NullSink`]
 //! every instrumentation site monomorphizes to nothing and the
 //! specialized fast-path executors remain engaged. DESIGN.md §2.6
-//! documents the register map, the JSONL event schema, and this policy.
+//! documents the register map, the JSONL event schema, and this policy;
+//! §2.10 documents the metrics service built on top.
 
 pub mod counters;
 pub mod event;
+pub mod export;
+pub mod histogram;
 pub mod json;
 pub mod manifest;
 pub mod sink;
 
 pub use counters::{CounterBank, CounterId};
 pub use event::{Event, MemKind};
+pub use export::{
+    check_openmetrics, chrome_trace, encode_openmetrics, events_from_jsonl, scrape, MetricsServer,
+};
+pub use histogram::{stall_run_lengths, Histogram, HistogramSummary, MetricValue, MetricsRegistry};
 pub use json::{Json, ToJson};
 pub use sink::{CountersOnly, JsonlSink, NullSink, RingSink, TraceSink};

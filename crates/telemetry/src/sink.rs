@@ -149,6 +149,17 @@ impl JsonlSink<BufWriter<File>> {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         Ok(Self::new(BufWriter::new(File::create(path)?)))
     }
+
+    /// Flush buffered lines and fsync the file to stable storage.
+    ///
+    /// Dropping the sink already flushes (best-effort, errors swallowed);
+    /// call `finish` when the trace must survive a crash right after —
+    /// it surfaces I/O errors and adds the `sync_all` barrier.
+    pub fn finish(self) -> std::io::Result<()> {
+        let mut writer = self.into_inner();
+        writer.flush()?;
+        writer.get_ref().sync_all()
+    }
 }
 
 impl<W: Write> JsonlSink<W> {
@@ -164,9 +175,23 @@ impl<W: Write> JsonlSink<W> {
 
     /// Flush and return the underlying writer (tests use this to inspect
     /// a captured `Vec<u8>`).
-    pub fn into_inner(mut self) -> W {
+    pub fn into_inner(self) -> W {
+        // Moving the writer out of a Drop type: disarm our Drop first,
+        // then lift the field without running it.
+        let this = std::mem::ManuallyDrop::new(self);
+        let mut writer = unsafe { std::ptr::read(&this.writer) };
+        let _ = writer.flush();
+        writer
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    /// Best-effort flush so a sink dropped on an early-exit path (panic
+    /// unwind, `?`-propagated error) leaves only the final *partial*
+    /// line unreadable rather than the whole buffered tail. Errors are
+    /// swallowed — a drop during unwind must not double-panic.
+    fn drop(&mut self) {
         let _ = self.writer.flush();
-        self.writer
     }
 }
 
@@ -260,5 +285,86 @@ mod tests {
         let p1 = parse(lines[1]).unwrap();
         assert_eq!(p1.get("t").unwrap().as_str(), Some("forward"));
         assert_eq!(p1.get("addr").unwrap().as_u64(), Some(5));
+    }
+
+    /// A `Write` that buffers internally and only publishes to the shared
+    /// sink on flush — shaped like a `BufWriter` so the test can observe
+    /// whether dropping the sink flushed.
+    struct SharedBuf {
+        staged: Vec<u8>,
+        published: std::rc::Rc<std::cell::RefCell<Vec<u8>>>,
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.staged.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.published.borrow_mut().extend_from_slice(&self.staged);
+            self.staged.clear();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn dropping_sink_flushes_buffered_lines() {
+        let published = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        {
+            let mut sink = JsonlSink::new(SharedBuf {
+                staged: Vec::new(),
+                published: std::rc::Rc::clone(&published),
+            });
+            sink.record(&stage1(0));
+            sink.record(&stage1(1));
+            assert!(
+                published.borrow().is_empty(),
+                "nothing published before drop"
+            );
+            // Dropped here without an explicit flush — as on panic unwind
+            // or an early `?` return.
+        }
+        let text = String::from_utf8(published.borrow().clone()).unwrap();
+        assert_eq!(text.lines().count(), 2, "drop flushed both lines");
+        for line in text.lines() {
+            parse(line).expect("flushed lines are complete JSON");
+        }
+    }
+
+    #[test]
+    fn into_inner_still_moves_writer_out_despite_drop_impl() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record(&stage1(0));
+        let bytes = sink.into_inner();
+        assert_eq!(String::from_utf8(bytes).unwrap().lines().count(), 1);
+    }
+
+    #[test]
+    fn partial_process_exit_stream_parses_line_by_line() {
+        // Build the stream a crashed process leaves behind: the drop
+        // flush preserved every completed line, and the line in flight
+        // at exit is truncated mid-record.
+        let mut sink = JsonlSink::new(Vec::new());
+        for i in 0..5 {
+            sink.record(&stage1(i));
+        }
+        let mut bytes = sink.into_inner();
+        bytes.truncate(bytes.len() - 9); // cut into the last record
+        let text = String::from_utf8(bytes).unwrap();
+
+        let mut parsed = 0u64;
+        let mut truncated = 0u64;
+        for line in text.lines() {
+            match parse(line) {
+                Ok(p) => {
+                    assert_eq!(p.get("t").unwrap().as_str(), Some("stage"));
+                    assert_eq!(p.get("iteration").unwrap().as_u64(), Some(parsed));
+                    parsed += 1;
+                }
+                Err(_) => truncated += 1,
+            }
+        }
+        assert_eq!(parsed, 4, "every completed line recovers");
+        assert_eq!(truncated, 1, "only the in-flight line is lost");
     }
 }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Tier-1 verification: offline build, tests, lints, the telemetry
-# zero-cost equivalence suite, and two instrumented quick benches that
+# zero-cost equivalence suite, the metrics-service suite plus a live
+# scrape smoke test, and two instrumented quick benches that
 # fail if (a) the disabled-telemetry (NullSink) fast path or (b) the
 # scale-out executor's aggregate rate regressed >5% against the tracked
 # BENCH_throughput.json / BENCH_scaling.json baselines. Quick runs
@@ -20,6 +21,12 @@ cargo test -q --release --offline -p qtaccel-accel --test telemetry
 
 echo "== scale-out determinism suite (release) =="
 cargo test -q --release --offline -p qtaccel-accel --test scaling
+
+echo "== metrics-service suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test metrics
+
+echo "== metrics smoke: serve on an ephemeral port, scrape, validate =="
+cargo run --release --offline -p qtaccel-bench --bin metrics_smoke
 
 echo "== cargo clippy (offline, deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
