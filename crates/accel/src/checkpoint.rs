@@ -1,0 +1,383 @@
+//! Crash-safe checkpoint container: versioned header, CRC-32 footer,
+//! atomic write-then-rename.
+//!
+//! This module owns the *container* — the byte format, integrity
+//! checking and durable file replacement. What goes inside (the full
+//! mutable state of an [`AccelPipeline`]: Q/Qmax images, the three LFSR
+//! states, cycle/sample counters, in-flight write queues, and the fault
+//! runtime if one is attached) is encoded by
+//! [`AccelPipeline::checkpoint_bytes`] and decoded by
+//! [`AccelPipeline::restore_checkpoint_bytes`], which live next to the
+//! pipeline because they touch every private field.
+//!
+//! ## Format
+//!
+//! A checkpoint is a sequence of little-endian `u64` words:
+//!
+//! ```text
+//! word 0       magic  "QTACCKPT"
+//! word 1       format version (this module understands version 1)
+//! word 2..n    payload (pipeline-defined)
+//! word n       CRC-32/ISO-HDLC of words 0..n, zero-extended to 64 bits
+//! ```
+//!
+//! ## Durability
+//!
+//! [`atomic_write`] stages the bytes in a sibling `*.tmp` file, fsyncs
+//! it, renames it over the destination, and fsyncs the directory. A
+//! crash at any point leaves either the old complete checkpoint or the
+//! new complete checkpoint — never a torn file. A torn or tampered file
+//! is still *detected* (CRC/magic/version/truncation) and refused with a
+//! typed [`CheckpointError`] rather than restored into a half-written
+//! pipeline.
+//!
+//! [`AccelPipeline`]: crate::AccelPipeline
+//! [`AccelPipeline::checkpoint_bytes`]: crate::AccelPipeline::checkpoint_bytes
+//! [`AccelPipeline::restore_checkpoint_bytes`]: crate::AccelPipeline::restore_checkpoint_bytes
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// `"QTACCKPT"` in ASCII — the first word of every checkpoint file.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"QTACCKPT");
+
+/// Container format version this build writes and understands.
+pub const VERSION: u64 = 1;
+
+/// Why a checkpoint could not be saved or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem-level failure (open, read, write, rename, sync).
+    Io(std::io::Error),
+    /// The file ended before the declared content (or is not a whole
+    /// number of words / too short to hold header + footer).
+    Truncated,
+    /// The first word is not the checkpoint magic — not a checkpoint.
+    BadMagic,
+    /// A checkpoint, but written by an incompatible format version.
+    BadVersion {
+        /// The version word found in the file.
+        found: u64,
+    },
+    /// The CRC-32 footer does not match the content: torn write or
+    /// corruption.
+    BadCrc,
+    /// The checkpoint is internally valid but was taken from a pipeline
+    /// whose shape/format differs from the one restoring it.
+    Mismatch {
+        /// Which field disagreed (e.g. `"num_states"`, `"format"`).
+        field: &'static str,
+        /// The restoring pipeline's value.
+        expected: String,
+        /// The checkpointed value.
+        found: String,
+    },
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl core::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::BadMagic => write!(f, "not a QTAccel checkpoint (bad magic)"),
+            CheckpointError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {found} (this build reads {VERSION})"
+                )
+            }
+            CheckpointError::BadCrc => write!(f, "checkpoint CRC mismatch (corrupt file)"),
+            CheckpointError::Mismatch {
+                field,
+                expected,
+                found,
+            } => write!(
+                f,
+                "checkpoint {field} mismatch: pipeline has {expected}, checkpoint has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial, reflected), one nibble per
+/// table step — small table, no dependency.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1DB7_1064,
+        0x3B6E_20C8,
+        0x26D9_30AC,
+        0x76DC_4190,
+        0x6B6B_51F4,
+        0x4DB2_6158,
+        0x5005_713C,
+        0xEDB8_8320,
+        0xF00F_9344,
+        0xD6D6_A3E8,
+        0xCB61_B38C,
+        0x9B64_C2B0,
+        0x86D3_D2D4,
+        0xA00A_E278,
+        0xBDBD_F21C,
+    ];
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 4) ^ TABLE[((crc ^ b as u32) & 0xF) as usize];
+        crc = (crc >> 4) ^ TABLE[((crc ^ (b as u32 >> 4)) & 0xF) as usize];
+    }
+    !crc
+}
+
+/// Accumulates checkpoint payload words and seals them with the header
+/// and CRC footer.
+#[derive(Debug, Default)]
+pub(crate) struct WordWriter {
+    words: Vec<u64>,
+}
+
+impl WordWriter {
+    /// A writer with the magic + version header already emitted.
+    pub(crate) fn with_header() -> Self {
+        let mut w = Self { words: Vec::new() };
+        w.push(MAGIC);
+        w.push(VERSION);
+        w
+    }
+
+    pub(crate) fn push(&mut self, word: u64) {
+        self.words.push(word);
+    }
+
+    pub(crate) fn push_f64(&mut self, x: f64) {
+        self.push(x.to_bits());
+    }
+
+    /// Append a length-prefixed UTF-8 string, padded to whole words.
+    pub(crate) fn push_str(&mut self, s: &str) {
+        let bytes = s.as_bytes();
+        self.push(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.push(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Seal: serialize all words little-endian and append the CRC word.
+    pub(crate) fn finish(self) -> Vec<u8> {
+        let mut bytes = Vec::with_capacity((self.words.len() + 1) * 8);
+        for w in &self.words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let crc = crc32(&bytes) as u64;
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+}
+
+/// Cursor over a verified checkpoint payload.
+#[derive(Debug)]
+pub(crate) struct WordReader {
+    words: Vec<u64>,
+    pos: usize,
+}
+
+impl WordReader {
+    /// Verify container integrity (shape, CRC, magic, version) and
+    /// position the cursor on the first payload word.
+    pub(crate) fn parse(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        // Header (2 words) + CRC footer (1 word) is the minimum file.
+        if !bytes.len().is_multiple_of(8) || bytes.len() < 24 {
+            return Err(CheckpointError::Truncated);
+        }
+        let (content, footer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(footer.try_into().expect("8-byte footer"));
+        if stored != crc32(content) as u64 {
+            return Err(CheckpointError::BadCrc);
+        }
+        let words: Vec<u64> = content
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte word")))
+            .collect();
+        if words[0] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        if words[1] != VERSION {
+            return Err(CheckpointError::BadVersion { found: words[1] });
+        }
+        Ok(Self { words, pos: 2 })
+    }
+
+    pub(crate) fn next(&mut self) -> Result<u64, CheckpointError> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or(CheckpointError::Truncated)?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    pub(crate) fn next_f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.next()?))
+    }
+
+    /// Read a length-prefixed string written by [`WordWriter::push_str`].
+    pub(crate) fn next_str(&mut self) -> Result<String, CheckpointError> {
+        let len = self.next()? as usize;
+        // A declared length beyond the remaining payload is corruption
+        // the CRC missed only if someone forged it — still refuse.
+        if len > (self.words.len() - self.pos) * 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut bytes = Vec::with_capacity(len);
+        while bytes.len() < len {
+            let word = self.next()?.to_le_bytes();
+            let take = (len - bytes.len()).min(8);
+            bytes.extend_from_slice(&word[..take]);
+        }
+        String::from_utf8(bytes).map_err(|_| CheckpointError::BadCrc)
+    }
+}
+
+/// Durably replace `path` with `bytes`: stage in a sibling `*.tmp`,
+/// fsync, rename over the destination, fsync the directory.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let tmp = {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    // Make the rename itself durable. Directory fsync is best-effort:
+    // some filesystems refuse to sync a directory handle.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut w = WordWriter::with_header();
+        w.push(7);
+        w.push_f64(0.125);
+        w.push_str("Q8.8");
+        w.push_str("a longer string spanning words");
+        let bytes = w.finish();
+        let mut r = WordReader::parse(&bytes).expect("valid container");
+        assert_eq!(r.next().unwrap(), 7);
+        assert_eq!(r.next_f64().unwrap(), 0.125);
+        assert_eq!(r.next_str().unwrap(), "Q8.8");
+        assert_eq!(r.next_str().unwrap(), "a longer string spanning words");
+        assert!(matches!(r.next(), Err(CheckpointError::Truncated)));
+    }
+
+    #[test]
+    fn truncated_and_corrupt_containers_are_refused() {
+        let mut w = WordWriter::with_header();
+        w.push(1);
+        let bytes = w.finish();
+        assert!(matches!(
+            WordReader::parse(&bytes[..bytes.len() - 8]),
+            Err(CheckpointError::BadCrc) | Err(CheckpointError::Truncated)
+        ));
+        assert!(matches!(
+            WordReader::parse(&bytes[..7]),
+            Err(CheckpointError::Truncated)
+        ));
+        let mut flipped = bytes.clone();
+        flipped[16] ^= 1;
+        assert!(matches!(
+            WordReader::parse(&flipped),
+            Err(CheckpointError::BadCrc)
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_typed_errors() {
+        // Not a checkpoint at all (but CRC-consistent).
+        let mut w = WordWriter::default();
+        w.push(0xDEAD_BEEF);
+        w.push(VERSION);
+        w.push(0);
+        assert!(matches!(
+            WordReader::parse(&w.finish()),
+            Err(CheckpointError::BadMagic)
+        ));
+        // A future version.
+        let mut w = WordWriter::default();
+        w.push(MAGIC);
+        w.push(VERSION + 9);
+        w.push(0);
+        assert!(matches!(
+            WordReader::parse(&w.finish()),
+            Err(CheckpointError::BadVersion { found }) if found == VERSION + 9
+        ));
+    }
+
+    #[test]
+    fn atomic_write_leaves_no_tmp_file() {
+        let dir = std::env::temp_dir().join("qtaccel-ckpt-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unit.ckpt");
+        atomic_write(&path, b"hello").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"hello");
+        atomic_write(&path, b"world").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"world");
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        assert!(!PathBuf::from(tmp).exists(), "staging file must be gone");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn errors_render_and_chain() {
+        let e = CheckpointError::BadVersion { found: 3 };
+        assert!(e.to_string().contains("version 3"));
+        let io = CheckpointError::from(std::io::Error::other("disk on fire"));
+        assert!(io.to_string().contains("disk on fire"));
+        use std::error::Error as _;
+        assert!(io.source().is_some());
+        let m = CheckpointError::Mismatch {
+            field: "num_states",
+            expected: "64".into(),
+            found: "128".into(),
+        };
+        assert!(m.to_string().contains("num_states"));
+    }
+}

@@ -36,6 +36,13 @@
 //!   EXP3 (probability-table) arm selection.
 //! * [`resources`] — the structural resource model (DSP/BRAM/FF/LUT)
 //!   behind Figs. 3, 4, 5 and the modeled throughput behind Fig. 6.
+//! * [`fault`] — the fault-tolerance runtime: online SEU injection
+//!   against the Q/Qmax memories, the SECDED protection model (codec in
+//!   `qtaccel-hdl`), and the background Qmax scrubbing engine that
+//!   un-poisons the §V-A monotone latch.
+//! * [`checkpoint`] — crash-safe checkpoint/restore of the full training
+//!   state (atomic write-then-rename, CRC-32-protected, versioned) with
+//!   bit-exact resume.
 //!
 //! Every engine is generic over a `qtaccel_telemetry::TraceSink`
 //! (default `NullSink` = telemetry off): attach a counter-bearing sink
@@ -52,8 +59,10 @@
 //! clock cycle after the 3-cycle fill.
 
 pub mod bandit;
+pub mod checkpoint;
 pub mod config;
 pub mod executor;
+pub mod fault;
 pub mod multi;
 pub mod pipeline;
 pub mod prob_engine;
@@ -64,7 +73,9 @@ pub mod structural;
 pub mod trace;
 
 pub use bandit::{BanditAccel, BanditPolicy, StatefulBanditAccel};
+pub use checkpoint::CheckpointError;
 pub use config::{AccelConfig, HazardMode};
+pub use fault::{FaultConfig, FaultStats};
 pub use executor::{ExecutorMetrics, ShardedExecutor, WorkerSnapshot};
 pub use multi::{BatchReport, DualPipelineShared, IndependentPipelines, ShardRun};
 pub use pipeline::{AccelPipeline, FastLayout};

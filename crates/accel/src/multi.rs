@@ -12,8 +12,10 @@
 //!   block"). Linear throughput scaling bounded only by memory.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
+use crate::checkpoint::CheckpointError;
 use crate::config::{AccelConfig, HazardMode};
 use crate::executor::{chunk_samples, ShardJob, ShardedExecutor};
 use crate::pipeline::{AccelPipeline, FastLayout};
@@ -502,6 +504,14 @@ pub struct BatchReport {
     pub dropped_iterations: u64,
 }
 
+/// Where [`train_batch_durable`] keeps shard `i`'s checkpoint inside its
+/// checkpoint directory.
+///
+/// [`train_batch_durable`]: IndependentPipelines::train_batch_durable
+pub fn shard_checkpoint_path(dir: &Path, i: usize) -> PathBuf {
+    dir.join(format!("shard{i}.ckpt"))
+}
+
 /// Per-shard working set (the fused fast-path slab) above which
 /// [`train_batch`] switches from the action-major interleaved layout to
 /// the state-major separate-column layout. `bench_scaling`'s layout
@@ -767,6 +777,93 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         }
     }
 
+    /// [`train_batch`](Self::train_batch) with crash-safe durability:
+    /// every shard periodically checkpoints its full training state to
+    /// `dir/shard{i}.ckpt` (atomic write-then-rename — a crash never
+    /// leaves a torn file), and on entry any checkpoints already in
+    /// `dir` are restored and their progress *subtracted* from the
+    /// budget. Killing a run mid-batch and calling again with the same
+    /// `dir` and total therefore resumes where the last checkpoint left
+    /// off and converges to the same bit-exact tables as an
+    /// uninterrupted run — per-shard sample streams are sequential and
+    /// deterministic, so progress composes.
+    ///
+    /// `checkpoint_every` is a per-shard sample cadence (a checkpoint is
+    /// written whenever a shard's retired-sample count crosses a
+    /// multiple of it); every shard writes one final checkpoint when the
+    /// batch completes regardless.
+    pub fn train_batch_durable<E: Environment + Sync>(
+        &mut self,
+        envs: &[E],
+        total_samples: u64,
+        dir: &Path,
+        checkpoint_every: u64,
+    ) -> Result<BatchReport, CheckpointError>
+    where
+        S: Send,
+    {
+        assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
+        assert!(checkpoint_every > 0, "checkpoint cadence must be nonzero");
+        std::fs::create_dir_all(dir)?;
+        // Resume: pick up whatever a previous (possibly killed) run left.
+        for (i, pipe) in self.pipes.iter_mut().enumerate() {
+            match pipe.restore_checkpoint(&shard_checkpoint_path(dir, i)) {
+                Ok(()) => {}
+                Err(CheckpointError::Io(e))
+                    if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let p = self.pipes.len() as u64;
+        let (base, extra) = (total_samples / p, total_samples % p);
+        let mut shards = Vec::with_capacity(self.pipes.len());
+        let mut budgets = Vec::with_capacity(self.pipes.len());
+        for (i, pipe) in self.pipes.iter().enumerate() {
+            let target = base + u64::from((i as u64) < extra);
+            // Checkpointed progress counts against the shard's target.
+            let samples = target.saturating_sub(pipe.stats().samples);
+            let layout = if pipe.fast_slab_bytes() <= CACHE_BLOCK_BYTES {
+                FastLayout::ActionMajor
+            } else {
+                FastLayout::StateMajor
+            };
+            shards.push(ShardRun {
+                pipeline: i,
+                samples,
+                chunk: chunk_samples(samples, pipe.num_states(), pipe.num_actions()),
+                layout,
+            });
+            budgets.push(samples);
+        }
+        // Shards run on pool workers and cannot return errors; the first
+        // checkpoint failure is parked here and re-raised after the join.
+        let failed: Mutex<Option<CheckpointError>> = Mutex::new(None);
+        let plan = &shards;
+        let failed_ref = &failed;
+        let stats = self.drive(envs, &budgets, |i, pipe, env, n| {
+            let before = pipe.stats().samples;
+            pipe.run_samples_fast_planned(env, n, plan[i].layout);
+            if before / checkpoint_every != pipe.stats().samples / checkpoint_every {
+                if let Err(e) = pipe.save_checkpoint(&shard_checkpoint_path(dir, i)) {
+                    failed_ref.lock().unwrap().get_or_insert(e);
+                }
+            }
+        });
+        if let Some(e) = failed.into_inner().unwrap() {
+            return Err(e);
+        }
+        // Seal the batch: the final state of every shard is durable.
+        for (i, pipe) in self.pipes.iter().enumerate() {
+            pipe.save_checkpoint(&shard_checkpoint_path(dir, i))?;
+        }
+        Ok(BatchReport {
+            stats,
+            workers: self.workers(),
+            shards,
+            dropped_iterations: self.dropped_iterations(),
+        })
+    }
+
     /// Cumulative iterations dropped by the attached sinks, summed
     /// across banks (see [`BatchReport::dropped_iterations`]).
     pub fn dropped_iterations(&self) -> u64 {
@@ -996,5 +1093,46 @@ mod tests {
     #[should_panic(expected = "at least one sub-environment")]
     fn independent_rejects_empty() {
         IndependentPipelines::<Q8_8>::new(&[] as &[GridWorld], AccelConfig::default());
+    }
+
+    #[test]
+    fn durable_batch_resumes_bit_exactly() {
+        let mut rng = qtaccel_hdl::lfsr::Lfsr32::new(21);
+        let part = PartitionedGrid::new(16, 16, 2, 2, 10, ActionSet::Four, &mut rng);
+        let dir = std::env::temp_dir().join(format!(
+            "qtaccel-durable-unit-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Straight-through reference.
+        let mut full =
+            IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+        full.train_batch(part.partitions(), 40_000);
+
+        // Two durable legs over the same directory: 24k, then top up to
+        // the full 40k on a *fresh* instance (simulated crash between).
+        let mut leg1 =
+            IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+        let r1 = leg1
+            .train_batch_durable(part.partitions(), 24_000, &dir, 4_096)
+            .expect("leg 1");
+        assert_eq!(r1.stats.samples, 24_000);
+        let mut leg2 =
+            IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+        let r2 = leg2
+            .train_batch_durable(part.partitions(), 40_000, &dir, 4_096)
+            .expect("leg 2");
+        assert_eq!(r2.stats.samples, 40_000, "restored progress counts");
+        assert_eq!(
+            r2.shards.iter().map(|s| s.samples).sum::<u64>(),
+            16_000,
+            "only the remainder is re-run"
+        );
+        for i in 0..4 {
+            assert_eq!(leg2.q_table(i), full.q_table(i), "bank {i} q");
+            assert_eq!(leg2.qmax_table(i), full.qmax_table(i), "bank {i} qmax");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

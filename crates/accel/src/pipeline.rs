@@ -42,8 +42,11 @@
 //! bit-exact fast path that skips the per-cycle bookkeeping entirely.
 
 use std::collections::VecDeque;
+use std::path::Path;
 
+use crate::checkpoint::{self, CheckpointError, WordReader, WordWriter};
 use crate::config::{AccelConfig, HazardMode};
+use crate::fault::{strike_word, FaultConfig, FaultRt, FaultStats, LatentError};
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{MaxMode, QTable, QmaxTable};
 use qtaccel_core::trainer::{seed_unit, Transition};
@@ -334,6 +337,10 @@ pub struct AccelPipeline<V, S: TraceSink = NullSink> {
     // the event sink (fed only when `S::EVENTS`).
     counters: CounterBank,
     sink: S,
+    // Fault-tolerance runtime (None = fault-free: every hook compiles
+    // to one branch on a pointer-sized option, and the fused executor
+    // stays engaged).
+    fault: Option<Box<FaultRt>>,
 }
 
 impl<V: QValue> AccelPipeline<V> {
@@ -409,6 +416,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             },
             counters,
             sink,
+            fault: None,
         }
     }
 
@@ -955,6 +963,8 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             ))
         };
 
+        self.fault_tick();
+
         Transition {
             s,
             a,
@@ -1242,6 +1252,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         let fused_eligible = n > 0
             && !S::COUNTERS
             && !S::EVENTS
+            && self.fault.is_none()
             && self.config.hazard == HazardMode::Forwarding
             && self.config.trainer.max_mode == MaxMode::QmaxArray
             && self.num_states < (1usize << 31);
@@ -1390,6 +1401,8 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                     },
                 ))
             };
+
+            self.fault_tick();
         }
 
         // Exit: reconstruct the pending queues so a subsequent
@@ -1726,6 +1739,398 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
     /// Exact greedy policy from the architectural Q-table.
     pub fn greedy_policy(&self) -> Vec<Action> {
         self.q_table().greedy_policy()
+    }
+
+    // ---- fault-tolerance runtime ---------------------------------------
+
+    /// Attach (or replace) the fault-tolerance runtime: online SEU
+    /// injection against the Q/Qmax memories, the SECDED protection
+    /// model, and the background Qmax scrubbing engine (see
+    /// [`FaultConfig`] and the `crate::fault` module docs).
+    ///
+    /// With a runtime attached the fused window-register executor is
+    /// ineligible (the general fast path and the cycle-accurate engine
+    /// both take the per-retired-sample fault hook); without one, every
+    /// execution path is bit-identical to a build without this feature.
+    /// Replacing the runtime resets its counters and injector streams.
+    pub fn enable_faults(&mut self, config: FaultConfig) {
+        self.fault = Some(Box::new(FaultRt::new(config)));
+    }
+
+    /// Detach the fault runtime (fault-free operation resumes; any
+    /// corruption already landed in the tables of course remains).
+    pub fn disable_faults(&mut self) {
+        self.fault = None;
+    }
+
+    /// The fault configuration in force, if a runtime is attached.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.fault.as_ref().map(|f| f.config)
+    }
+
+    /// Snapshot of the fault-campaign counters, if a runtime is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault.as_ref().map(|f| f.stats)
+    }
+
+    /// Per-retired-sample fault hook: one SEU opportunity per memory,
+    /// then one scrub slot. A single `None` check on the fault-free path.
+    #[inline(always)]
+    fn fault_tick(&mut self) {
+        if self.fault.is_some() {
+            self.fault_tick_active();
+        }
+    }
+
+    /// The active-runtime body of [`fault_tick`](Self::fault_tick),
+    /// out-of-line so the fault-free loops stay tight.
+    fn fault_tick_active(&mut self) {
+        let mut f = self.fault.take().expect("caller checked is_some");
+        let width = V::storage_bits();
+        // Strikes land in the *committed* BRAM images — an in-flight
+        // pipeline value is flip-flop state, not a memory cell, and a
+        // pending write that later commits over a struck word rewrites
+        // (re-encodes) it, exactly as the hardware would.
+        if let Some((addr, bit)) = f.q_inj.maybe_strike(self.q_mem.len(), width) {
+            f.stats.injected_q += 1;
+            if let Some(v) = strike_word(
+                self.q_mem[addr],
+                &mut f.q_latent,
+                &mut f.stats,
+                f.config.ecc,
+                addr,
+                bit,
+            ) {
+                self.q_mem[addr] = v;
+            }
+        }
+        // The Qmax strike model targets the value field (the wide,
+        // latch-poisoning-prone part of the word); the narrow action
+        // field shares the codeword under ECC but its upset cross
+        // section is a rounding error next to the value bits.
+        if let Some((addr, bit)) = f.qmax_inj.maybe_strike(self.qmax_mem.len(), width) {
+            f.stats.injected_qmax += 1;
+            if let Some(v) = strike_word(
+                self.qmax_mem[addr].0,
+                &mut f.qmax_latent,
+                &mut f.stats,
+                f.config.ecc,
+                addr,
+                bit,
+            ) {
+                self.qmax_mem[addr].0 = v;
+            }
+        }
+        if f.config.scrub_period > 0 {
+            f.samples_since_scrub += 1;
+            if f.samples_since_scrub >= f.config.scrub_period {
+                f.samples_since_scrub = 0;
+                self.scrub_slot(&mut f);
+            }
+        }
+        self.fault = Some(f);
+    }
+
+    /// One scrub engine slot: rebuild the Qmax entry under the cursor
+    /// exactly from the committed Q row (value *and* greedy-action
+    /// field, ties to the lowest action — `QmaxTable::rebuild_exact`
+    /// semantics, one state at a time).
+    fn scrub_slot(&mut self, f: &mut FaultRt) {
+        let s = f.scrub_cursor;
+        let base = s * self.num_actions;
+        let mut best_v = self.q_mem[base];
+        let mut best_a = 0 as Action;
+        for a in 1..self.num_actions {
+            let v = self.q_mem[base + a];
+            if v.vcmp(best_v) == core::cmp::Ordering::Greater {
+                best_v = v;
+                best_a = a as Action;
+            }
+        }
+        f.stats.scrub_entries += 1;
+        let cur = self.qmax_mem[s];
+        if QValue::to_bits(cur.0) != QValue::to_bits(best_v) || cur.1 != best_a {
+            self.qmax_mem[s] = (best_v, best_a);
+            f.stats.scrub_repairs += 1;
+            // The scrub writeback re-encodes the word: a recorded latent
+            // ECC error on it is gone.
+            f.qmax_latent.retain(|l| l.addr != s);
+        }
+        f.scrub_cursor += 1;
+        if f.scrub_cursor >= self.num_states {
+            f.scrub_cursor = 0;
+            f.stats.scrub_rounds += 1;
+        }
+    }
+
+    // ---- checkpoint / restore ------------------------------------------
+
+    /// Serialize the full mutable training state into a checkpoint
+    /// container (see `crate::checkpoint` for the format): Q/Qmax
+    /// images, the three LFSR unit states, cycle statistics, the
+    /// inter-iteration carry, in-flight write queues (the pipeline is
+    /// *not* quiesced — resume is bit-exact mid-flight), and the fault
+    /// runtime if one is attached. Telemetry (counter bank, event sink)
+    /// is observability, not architectural state, and is not captured.
+    pub fn checkpoint_bytes(&self) -> Vec<u8> {
+        let mut w = WordWriter::with_header();
+        w.push_str(&V::format_name());
+        w.push(V::storage_bits() as u64);
+        w.push(self.num_states as u64);
+        w.push(self.num_actions as u64);
+        // Cycle statistics.
+        w.push(self.stats.cycles);
+        w.push(self.stats.samples);
+        w.push(self.stats.stalls);
+        w.push(self.stats.fill_bubbles);
+        w.push(self.stats.forwards);
+        // LFSR unit states (peek/new round-trips exactly; a live LFSR
+        // state is never zero, so the zero-seed remap cannot fire).
+        w.push(self.start_rng.peek() as u64);
+        w.push(self.behavior_rng.peek() as u64);
+        w.push(self.update_rng.peek() as u64);
+        // Control state.
+        let (tag, cs, ca) = match self.carry {
+            None => (0u64, 0u64, 0u64),
+            Some((s, None)) => (1, s as u64, 0),
+            Some((s, Some(a))) => (2, s as u64, a as u64),
+        };
+        w.push(tag);
+        w.push(cs);
+        w.push(ca);
+        w.push(self.next_c1);
+        w.push(self.drain_horizon_q);
+        w.push(self.drain_horizon_qmax);
+        // Memory images.
+        for &v in &self.q_mem {
+            w.push(QValue::to_bits(v));
+        }
+        for &(v, a) in &self.qmax_mem {
+            w.push(QValue::to_bits(v));
+            w.push(a as u64);
+        }
+        // In-flight write queues.
+        w.push(self.pending_q.len() as u64);
+        for p in &self.pending_q {
+            w.push(p.commit_cycle);
+            w.push(p.addr as u64);
+            w.push(QValue::to_bits(p.value));
+        }
+        w.push(self.pending_qmax.len() as u64);
+        for p in &self.pending_qmax {
+            w.push(p.commit_cycle);
+            w.push(p.addr as u64);
+            w.push(QValue::to_bits(p.value.0));
+            w.push(p.value.1 as u64);
+        }
+        // Fault runtime.
+        match &self.fault {
+            None => w.push(0),
+            Some(f) => {
+                w.push(1);
+                w.push(f.config.seed);
+                w.push_f64(f.config.q_seu_rate);
+                w.push_f64(f.config.qmax_seu_rate);
+                w.push(f.config.ecc as u64);
+                w.push(f.config.scrub_period);
+                w.push(f.q_inj.rng_state() as u64);
+                w.push(f.q_inj.injected());
+                w.push(f.qmax_inj.rng_state() as u64);
+                w.push(f.qmax_inj.injected());
+                w.push(f.scrub_cursor as u64);
+                w.push(f.samples_since_scrub);
+                w.push(f.stats.injected_q);
+                w.push(f.stats.injected_qmax);
+                w.push(f.stats.corrected);
+                w.push(f.stats.detected_uncorrectable);
+                w.push(f.stats.scrub_entries);
+                w.push(f.stats.scrub_rounds);
+                w.push(f.stats.scrub_repairs);
+                for latents in [&f.q_latent, &f.qmax_latent] {
+                    w.push(latents.len() as u64);
+                    for l in latents {
+                        w.push(l.addr as u64);
+                        w.push(l.bit as u64);
+                        w.push(l.snapshot);
+                    }
+                }
+            }
+        }
+        w.finish()
+    }
+
+    /// Restore state captured by [`checkpoint_bytes`](Self::checkpoint_bytes)
+    /// into this pipeline. The pipeline must have been built for the
+    /// same environment dimensions, value format *and configuration* as
+    /// the checkpointed one (dimensions and format are verified;
+    /// trainer/hazard configuration is the caller's contract — restoring
+    /// under a different config is well-defined but obviously not a
+    /// bit-exact resume of the original run).
+    ///
+    /// All-or-nothing: on any error the pipeline is left untouched.
+    pub fn restore_checkpoint_bytes(&mut self, bytes: &[u8]) -> Result<(), CheckpointError> {
+        let mut r = WordReader::parse(bytes)?;
+        let found = r.next_str()?;
+        let expected = V::format_name();
+        if found != expected {
+            return Err(CheckpointError::Mismatch {
+                field: "value format",
+                expected,
+                found,
+            });
+        }
+        let bits = r.next()?;
+        if bits != V::storage_bits() as u64 {
+            return Err(CheckpointError::Mismatch {
+                field: "storage bits",
+                expected: V::storage_bits().to_string(),
+                found: bits.to_string(),
+            });
+        }
+        let ns = r.next()?;
+        if ns != self.num_states as u64 {
+            return Err(CheckpointError::Mismatch {
+                field: "num_states",
+                expected: self.num_states.to_string(),
+                found: ns.to_string(),
+            });
+        }
+        let na = r.next()?;
+        if na != self.num_actions as u64 {
+            return Err(CheckpointError::Mismatch {
+                field: "num_actions",
+                expected: self.num_actions.to_string(),
+                found: na.to_string(),
+            });
+        }
+        // Decode everything into temporaries first so a short payload
+        // cannot leave the pipeline half-restored.
+        let stats = CycleStats {
+            cycles: r.next()?,
+            samples: r.next()?,
+            stalls: r.next()?,
+            fill_bubbles: r.next()?,
+            forwards: r.next()?,
+        };
+        let start_rng = Lfsr32::new(r.next()? as u32);
+        let behavior_rng = Lfsr32::new(r.next()? as u32);
+        let update_rng = Lfsr32::new(r.next()? as u32);
+        let (tag, cs, ca) = (r.next()?, r.next()? as State, r.next()? as Action);
+        let carry = match tag {
+            0 => None,
+            1 => Some((cs, None)),
+            _ => Some((cs, Some(ca))),
+        };
+        let next_c1 = r.next()?;
+        let drain_horizon_q = r.next()?;
+        let drain_horizon_qmax = r.next()?;
+        let mut q_mem = Vec::with_capacity(self.q_mem.len());
+        for _ in 0..self.q_mem.len() {
+            q_mem.push(V::from_bits(r.next()?));
+        }
+        let mut qmax_mem = Vec::with_capacity(self.qmax_mem.len());
+        for _ in 0..self.qmax_mem.len() {
+            let v = V::from_bits(r.next()?);
+            qmax_mem.push((v, r.next()? as Action));
+        }
+        let nq = r.next()? as usize;
+        let mut pending_q = VecDeque::with_capacity(nq);
+        for _ in 0..nq {
+            pending_q.push_back(Pending {
+                commit_cycle: r.next()?,
+                addr: r.next()? as usize,
+                value: V::from_bits(r.next()?),
+            });
+        }
+        let nm = r.next()? as usize;
+        let mut pending_qmax = VecDeque::with_capacity(nm);
+        for _ in 0..nm {
+            pending_qmax.push_back(Pending {
+                commit_cycle: r.next()?,
+                addr: r.next()? as usize,
+                value: {
+                    let v = V::from_bits(r.next()?);
+                    (v, r.next()? as Action)
+                },
+            });
+        }
+        let fault = if r.next()? == 0 {
+            None
+        } else {
+            let config = FaultConfig {
+                seed: r.next()?,
+                q_seu_rate: r.next_f64()?,
+                qmax_seu_rate: r.next_f64()?,
+                ecc: r.next()? != 0,
+                scrub_period: r.next()?,
+            };
+            let mut f = FaultRt::new(config);
+            let (qs, qi) = (r.next()? as u32, r.next()?);
+            f.q_inj.restore(qs, qi);
+            let (ms, mi) = (r.next()? as u32, r.next()?);
+            f.qmax_inj.restore(ms, mi);
+            f.scrub_cursor = r.next()? as usize;
+            f.samples_since_scrub = r.next()?;
+            f.stats = FaultStats {
+                injected_q: r.next()?,
+                injected_qmax: r.next()?,
+                corrected: r.next()?,
+                detected_uncorrectable: r.next()?,
+                scrub_entries: r.next()?,
+                scrub_rounds: r.next()?,
+                scrub_repairs: r.next()?,
+            };
+            for latents in [&mut f.q_latent, &mut f.qmax_latent] {
+                let n = r.next()? as usize;
+                for _ in 0..n {
+                    latents.push(LatentError {
+                        addr: r.next()? as usize,
+                        bit: r.next()? as u32,
+                        snapshot: r.next()?,
+                    });
+                }
+            }
+            Some(Box::new(f))
+        };
+
+        // Commit.
+        self.stats = stats;
+        self.start_rng = start_rng;
+        self.behavior_rng = behavior_rng;
+        self.update_rng = update_rng;
+        self.carry = carry;
+        self.next_c1 = next_c1;
+        self.drain_horizon_q = drain_horizon_q;
+        self.drain_horizon_qmax = drain_horizon_qmax;
+        self.q_mem = q_mem;
+        self.qmax_mem = qmax_mem;
+        self.pending_q = pending_q;
+        self.pending_qmax = pending_qmax;
+        self.fwd_q.clear();
+        for &p in &self.pending_q {
+            self.fwd_q.push(p);
+        }
+        self.fwd_qmax.clear();
+        for &p in &self.pending_qmax {
+            self.fwd_qmax.push(p);
+        }
+        self.fault = fault;
+        Ok(())
+    }
+
+    /// Durably write a checkpoint to `path` (atomic write-then-rename:
+    /// a crash leaves either the previous or the new complete file).
+    pub fn save_checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        checkpoint::atomic_write(path, &self.checkpoint_bytes())
+    }
+
+    /// Restore from a checkpoint file written by
+    /// [`save_checkpoint`](Self::save_checkpoint). Truncated, corrupt,
+    /// wrong-version or wrong-shape files are refused with a typed
+    /// [`CheckpointError`] and leave the pipeline untouched.
+    pub fn restore_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = std::fs::read(path)?;
+        self.restore_checkpoint_bytes(&bytes)
     }
 }
 

@@ -139,6 +139,43 @@ pub fn with_histogram_regfile(mut res: AccelResources, config: &AccelConfig) -> 
     res
 }
 
+/// Fold SECDED protection of the Q and Qmax memories into a resource
+/// bundle: both BRAMs store the widened codeword (Hamming parity plus
+/// the overall-parity bit over the value word — value + action for the
+/// Qmax entry), and each protected memory carries an encoder/decoder
+/// pair (see [`qtaccel_hdl::resource::secded_report`]). The reward
+/// table is a ROM reloaded from configuration and stays unprotected.
+/// The engines apply this only when the attached fault config enables
+/// ECC — unprotected builds cost nothing extra, like disabled
+/// telemetry. The codecs sit in the BRAM read/write paths but pipeline
+/// cleanly, so modeled fmax is unaffected; utilization and power are
+/// recomputed over the combined report.
+pub fn with_secded(
+    mut res: AccelResources,
+    config: &AccelConfig,
+    num_states: usize,
+    num_actions: usize,
+    value_bits: u32,
+) -> AccelResources {
+    use qtaccel_hdl::fault::Secded;
+    let s = num_states as u64;
+    let sa = (num_states * num_actions) as u64;
+    let abits = addr_bits(num_actions);
+    // Storage: the protected words widen from the data width to the
+    // full codeword width.
+    let q_code = Secded::new(value_bits).code_bits();
+    let qmax_code = Secded::new(value_bits + abits).code_bits();
+    res.report.bram36 += (blocks_for(sa, q_code) - blocks_for(sa, value_bits))
+        + (blocks_for(s, qmax_code) - blocks_for(s, value_bits + abits));
+    // Logic: one encode/decode codec pair per protected memory.
+    let codecs = qtaccel_hdl::resource::secded_report(value_bits)
+        .combine(qtaccel_hdl::resource::secded_report(value_bits + abits));
+    res.report = res.report.combine(codecs);
+    res.utilization = res.report.utilization(&config.device);
+    res.power_mw = config.power.power_mw(&res.report, res.fmax_mhz);
+    res
+}
+
 /// Analyze one design point under `config`.
 ///
 /// `samples_per_cycle` is the pipeline's measured issue rate (1.0 with
@@ -264,6 +301,24 @@ mod tests {
         // histogram monitor together stay well under 1 % of the device.
         let both = with_perf_regfile(inst, &cfg);
         assert!(both.utilization.ff_pct < 0.5, "{}", both.utilization.ff_pct);
+    }
+
+    #[test]
+    fn secded_overhead_is_priced_and_opt_in() {
+        let cfg = crate::config::AccelConfig::default();
+        let base = analyze(262_144, 8, 16, EngineKind::QLearning, &cfg, 1.0);
+        let ecc = with_secded(base, &cfg, 262_144, 8, 16);
+        // Q words widen 16 → 22 bits, Qmax words 19 → 25: real blocks.
+        assert!(
+            ecc.report.bram36 > base.report.bram36,
+            "codeword widening must cost BRAM: {} vs {}",
+            ecc.report.bram36,
+            base.report.bram36
+        );
+        assert!(ecc.report.lut > base.report.lut, "parity trees cost LUTs");
+        assert_eq!(ecc.report.dsp, base.report.dsp, "no multipliers in a codec");
+        assert_eq!(ecc.fmax_mhz, base.fmax_mhz, "codecs pipeline cleanly");
+        assert!(ecc.power_mw > base.power_mw, "more fabric, more power");
     }
 
     #[test]

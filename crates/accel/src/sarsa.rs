@@ -8,10 +8,12 @@
 //! available at the beginning of 3rd stage will be forwarded to the 1st
 //! stage as the next-step action").
 
+use crate::checkpoint::CheckpointError;
 use crate::config::AccelConfig;
+use crate::fault::{FaultConfig, FaultStats};
 use crate::pipeline::{AccelPipeline, FastLayout};
 use crate::resources::{
-    analyze, with_histogram_regfile, with_perf_regfile, AccelResources, EngineKind,
+    analyze, with_histogram_regfile, with_perf_regfile, with_secded, AccelResources, EngineKind,
 };
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{QTable, QmaxTable};
@@ -20,6 +22,7 @@ use qtaccel_envs::{Action, Environment};
 use qtaccel_fixed::QValue;
 use qtaccel_hdl::pipeline::CycleStats;
 use qtaccel_telemetry::{CounterBank, NullSink, TraceSink};
+use std::path::Path;
 
 /// The SARSA accelerator instance.
 ///
@@ -128,6 +131,35 @@ impl<V: QValue, S: TraceSink> SarsaAccel<V, S> {
         self.pipe.greedy_policy()
     }
 
+    /// Attach the fault-tolerance runtime — online SEU injection, SECDED
+    /// protection, Qmax scrubbing (see
+    /// `AccelPipeline::enable_faults` and [`FaultConfig`]).
+    pub fn enable_faults(&mut self, config: FaultConfig) {
+        self.pipe.enable_faults(config);
+    }
+
+    /// The fault configuration in force, if any.
+    pub fn fault_config(&self) -> Option<FaultConfig> {
+        self.pipe.fault_config()
+    }
+
+    /// Fault-campaign counters, if a fault runtime is attached.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.pipe.fault_stats()
+    }
+
+    /// Durably checkpoint the full training state to `path` (see
+    /// `AccelPipeline::save_checkpoint`).
+    pub fn save_checkpoint(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.pipe.save_checkpoint(path)
+    }
+
+    /// Restore training state from a checkpoint file; resume is
+    /// bit-exact (see `AccelPipeline::restore_checkpoint`).
+    pub fn restore_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        self.pipe.restore_checkpoint(path)
+    }
+
     /// Structural resources, modeled fmax/throughput/power (Figs. 4, 5,
     /// 6). When a counter-bearing sink is attached the perf-counter
     /// bank's fabric cost is included (see [`with_perf_regfile`]); an
@@ -144,16 +176,25 @@ impl<V: QValue, S: TraceSink> SarsaAccel<V, S> {
                 if self.pipe.stats().samples == 0 { 1.0 } else { 0.0 },
             ),
         );
-        let res = if S::COUNTERS {
+        let mut res = if S::COUNTERS {
             with_perf_regfile(res, self.pipe.config())
         } else {
             res
         };
         if S::EVENTS {
-            with_histogram_regfile(res, self.pipe.config())
-        } else {
-            res
+            res = with_histogram_regfile(res, self.pipe.config());
         }
+        // ECC-protected memories carry their codecs and widened words.
+        if self.pipe.fault_config().is_some_and(|c| c.ecc) {
+            res = with_secded(
+                res,
+                self.pipe.config(),
+                self.pipe.num_states(),
+                self.pipe.num_actions(),
+                V::storage_bits(),
+            );
+        }
+        res
     }
 }
 

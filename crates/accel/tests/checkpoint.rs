@@ -1,0 +1,227 @@
+//! Crash-safe checkpoint/restore: resuming from a checkpoint must
+//! reproduce the straight-through run bit-exactly — for both
+//! algorithms, every hazard mode, both Qmax semantics, and with the
+//! executors freely mixed around the save point — and damaged or
+//! mismatched checkpoint files must be refused with a typed error that
+//! leaves the engine untouched.
+
+use qtaccel_accel::checkpoint::{crc32, CheckpointError};
+use qtaccel_accel::config::{AccelConfig, HazardMode};
+use qtaccel_accel::qlearning::QLearningAccel;
+use qtaccel_accel::sarsa::SarsaAccel;
+use qtaccel_core::qtable::MaxMode;
+use qtaccel_envs::{ActionSet, GridWorld};
+use qtaccel_fixed::{Q16_16, Q8_8};
+use std::path::PathBuf;
+
+const HAZARDS: [HazardMode; 3] = [
+    HazardMode::Forwarding,
+    HazardMode::StallOnly,
+    HazardMode::Ignore,
+];
+
+fn grid() -> GridWorld {
+    GridWorld::builder(8, 8)
+        .goal(7, 7)
+        .actions(ActionSet::Four)
+        .build()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!(
+        "qtaccel-ckpt-{}-{name}.ckpt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Rewrite the container's trailing CRC word after tampering with the
+/// payload, so the damage under test is reached instead of masked.
+fn fix_crc(bytes: &mut [u8]) {
+    let n = bytes.len();
+    let crc = crc32(&bytes[..n - 8]) as u64;
+    bytes[n - 8..].copy_from_slice(&crc.to_le_bytes());
+}
+
+#[test]
+fn qlearning_resume_is_bit_exact_across_hazards_and_max_modes() {
+    for hazard in HAZARDS {
+        for max_mode in [MaxMode::QmaxArray, MaxMode::ExactScan] {
+            let g = grid();
+            let cfg = AccelConfig::default()
+                .with_seed(0xA5)
+                .with_hazard(hazard)
+                .with_max_mode(max_mode);
+            // The straight-through reference mixes executors the same
+            // way the legged run does around the save point.
+            let mut straight = QLearningAccel::<Q8_8>::new(&g, cfg);
+            straight.train_samples(&g, 7_777);
+            straight.train_samples_fast(&g, 5_000);
+
+            let path = tmp(&format!("ql-{hazard:?}-{max_mode:?}"));
+            let mut first = QLearningAccel::<Q8_8>::new(&g, cfg);
+            first.train_samples(&g, 7_777);
+            first.save_checkpoint(&path).expect("save");
+            drop(first); // the "crash"
+            let mut resumed = QLearningAccel::<Q8_8>::new(&g, cfg);
+            resumed.restore_checkpoint(&path).expect("restore");
+            resumed.train_samples_fast(&g, 5_000);
+
+            let label = format!("{hazard:?}/{max_mode:?}");
+            assert_eq!(resumed.stats(), straight.stats(), "{label}: stats");
+            assert_eq!(
+                resumed.q_table().as_slice(),
+                straight.q_table().as_slice(),
+                "{label}: Q-table"
+            );
+            assert_eq!(
+                resumed.qmax_table(),
+                straight.qmax_table(),
+                "{label}: Qmax"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn sarsa_resume_is_bit_exact_across_hazards() {
+    for hazard in HAZARDS {
+        let g = grid();
+        let cfg = AccelConfig::default().with_seed(0x5A).with_hazard(hazard);
+        let mut straight = SarsaAccel::<Q8_8>::new(&g, cfg, 0.2);
+        straight.train_samples_fast(&g, 6_001);
+        straight.train_samples(&g, 4_000);
+
+        let path = tmp(&format!("sarsa-{hazard:?}"));
+        let mut first = SarsaAccel::<Q8_8>::new(&g, cfg, 0.2);
+        first.train_samples_fast(&g, 6_001);
+        first.save_checkpoint(&path).expect("save");
+        drop(first);
+        let mut resumed = SarsaAccel::<Q8_8>::new(&g, cfg, 0.2);
+        resumed.restore_checkpoint(&path).expect("restore");
+        resumed.train_samples(&g, 4_000);
+
+        assert_eq!(resumed.stats(), straight.stats(), "{hazard:?}: stats");
+        assert_eq!(
+            resumed.q_table().as_slice(),
+            straight.q_table().as_slice(),
+            "{hazard:?}: Q-table"
+        );
+        assert_eq!(resumed.qmax_table(), straight.qmax_table(), "{hazard:?}: Qmax");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn overwriting_a_checkpoint_keeps_the_latest_state_and_no_tmp_file() {
+    let g = grid();
+    let cfg = AccelConfig::default();
+    let path = tmp("overwrite");
+    let mut a = QLearningAccel::<Q8_8>::new(&g, cfg);
+    a.train_samples(&g, 2_000);
+    a.save_checkpoint(&path).expect("first save");
+    a.train_samples(&g, 3_000);
+    a.save_checkpoint(&path).expect("overwrite");
+
+    let mut b = QLearningAccel::<Q8_8>::new(&g, cfg);
+    b.restore_checkpoint(&path).expect("restore");
+    assert_eq!(b.stats().samples, 5_000, "latest save wins");
+    assert_eq!(b.q_table().as_slice(), a.q_table().as_slice());
+    let tmp_sibling = {
+        let mut os = path.clone().into_os_string();
+        os.push(".tmp");
+        PathBuf::from(os)
+    };
+    assert!(!tmp_sibling.exists(), "atomic write must clean up its tmp");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn damaged_files_are_refused_and_leave_the_engine_untouched() {
+    let g = grid();
+    let cfg = AccelConfig::default();
+    let mut a = QLearningAccel::<Q8_8>::new(&g, cfg);
+    a.train_samples(&g, 1_000);
+    let path = tmp("damage");
+    a.save_checkpoint(&path).expect("save");
+    let good = std::fs::read(&path).unwrap();
+
+    let restore_bytes = |bytes: &[u8]| {
+        std::fs::write(&path, bytes).unwrap();
+        let mut fresh = QLearningAccel::<Q8_8>::new(&g, cfg);
+        let err = fresh.restore_checkpoint(&path).unwrap_err();
+        // All-or-nothing: the failed restore must not have moved the
+        // engine off its reset state.
+        assert_eq!(fresh.stats().samples, 0, "engine touched by failed restore");
+        err
+    };
+
+    // Truncation to a non-word length.
+    assert!(matches!(
+        restore_bytes(&good[..good.len() - 3]),
+        CheckpointError::Truncated
+    ));
+    // Dropping the whole CRC word: the previous word cannot match.
+    assert!(matches!(
+        restore_bytes(&good[..good.len() - 8]),
+        CheckpointError::BadCrc
+    ));
+    // One flipped payload bit.
+    let mut corrupt = good.clone();
+    corrupt[40] ^= 0x10;
+    assert!(matches!(restore_bytes(&corrupt), CheckpointError::BadCrc));
+    // Wrong magic, CRC re-fixed so the magic check itself is reached.
+    let mut magic = good.clone();
+    magic[0] ^= 0xFF;
+    fix_crc(&mut magic);
+    assert!(matches!(restore_bytes(&magic), CheckpointError::BadMagic));
+    // Future format version, CRC re-fixed.
+    let mut version = good.clone();
+    version[8..16].copy_from_slice(&99u64.to_le_bytes());
+    fix_crc(&mut version);
+    assert!(matches!(
+        restore_bytes(&version),
+        CheckpointError::BadVersion { found: 99 }
+    ));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn shape_and_format_mismatches_are_typed() {
+    let g = grid();
+    let cfg = AccelConfig::default();
+    let mut a = QLearningAccel::<Q8_8>::new(&g, cfg);
+    a.train_samples(&g, 500);
+    let path = tmp("mismatch");
+    a.save_checkpoint(&path).expect("save");
+
+    // Same format, different world.
+    let small = GridWorld::builder(4, 4).goal(3, 3).build();
+    let mut wrong_world = QLearningAccel::<Q8_8>::new(&small, cfg);
+    assert!(matches!(
+        wrong_world.restore_checkpoint(&path),
+        Err(CheckpointError::Mismatch { field: "num_states", .. })
+    ));
+
+    // Same world, different value format.
+    let mut wrong_format = QLearningAccel::<Q16_16>::new(&g, cfg);
+    assert!(matches!(
+        wrong_format.restore_checkpoint(&path),
+        Err(CheckpointError::Mismatch { field: "value format", .. })
+    ));
+
+    // Missing file surfaces the io error.
+    let mut fresh = QLearningAccel::<Q8_8>::new(&g, cfg);
+    let missing = tmp("never-written");
+    match fresh.restore_checkpoint(&missing) {
+        Err(CheckpointError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::NotFound)
+        }
+        other => panic!("expected Io(NotFound), got {other:?}"),
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

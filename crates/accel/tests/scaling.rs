@@ -11,12 +11,14 @@
 
 use qtaccel_accel::config::{AccelConfig, HazardMode};
 use qtaccel_accel::executor::{host_parallelism, ShardedExecutor};
-use qtaccel_accel::multi::IndependentPipelines;
+use qtaccel_accel::multi::{shard_checkpoint_path, IndependentPipelines};
 use qtaccel_core::trainer::TrainerConfig;
-use qtaccel_envs::{ActionSet, PartitionedGrid};
+use qtaccel_envs::{Action, ActionSet, Environment, GridWorld, PartitionedGrid, State};
 use qtaccel_fixed::Q8_8;
 use qtaccel_hdl::lfsr::Lfsr32;
 use qtaccel_telemetry::CountersOnly;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 const HAZARDS: [HazardMode; 3] = [
@@ -208,6 +210,123 @@ fn train_batch_even_split_matches_fast_sequential() {
     let report = batch.train_batch(part.partitions(), each * 4);
     assert!(report.shards.iter().all(|s| s.samples == each));
     assert_banks_identical(&reference, &batch, "even train_batch vs fast sequential");
+}
+
+#[test]
+fn durable_train_batch_is_bit_exact_across_a_kill_and_a_pool_swap() {
+    // A durable batch interrupted mid-way and finished by a *different*
+    // process image (fresh pipelines, different worker count) must land
+    // on the same tables as one uninterrupted batch: the checkpoints
+    // carry everything, and worker count was already proven irrelevant.
+    let part = four_banks(53);
+    let cfg = AccelConfig::default().with_seed(41);
+    let dir = std::env::temp_dir()
+        .join(format!("qtaccel-durable-scaling-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let pool = Arc::new(ShardedExecutor::new(3));
+    let mut straight =
+        IndependentPipelines::<Q8_8>::new(part.partitions(), cfg).with_executor(pool);
+    straight.train_batch(part.partitions(), 40_000);
+
+    let pool1 = Arc::new(ShardedExecutor::new(3));
+    let mut leg1 =
+        IndependentPipelines::<Q8_8>::new(part.partitions(), cfg).with_executor(pool1);
+    leg1.train_batch_durable(part.partitions(), 24_000, &dir, 4_000)
+        .expect("first leg");
+    for i in 0..4 {
+        assert!(shard_checkpoint_path(&dir, i).exists(), "shard {i} sealed");
+    }
+    drop(leg1); // the "kill"
+
+    let pool2 = Arc::new(ShardedExecutor::new(2));
+    let mut leg2 =
+        IndependentPipelines::<Q8_8>::new(part.partitions(), cfg).with_executor(pool2);
+    let report = leg2
+        .train_batch_durable(part.partitions(), 40_000, &dir, 4_000)
+        .expect("second leg");
+    assert_eq!(report.stats.samples, 40_000, "restored + new samples");
+    assert_banks_identical(&straight, &leg2, "durable resume across pools");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A [`GridWorld`] whose transition function panics once the fuse burns
+/// down — an environment-side fault injected into one shard of a batch.
+struct FlakyEnv {
+    inner: GridWorld,
+    fuse: AtomicU64,
+}
+
+impl FlakyEnv {
+    fn new(inner: GridWorld, fuse: u64) -> Self {
+        Self { inner, fuse: AtomicU64::new(fuse) }
+    }
+}
+
+impl Environment for FlakyEnv {
+    fn num_states(&self) -> usize {
+        self.inner.num_states()
+    }
+    fn num_actions(&self) -> usize {
+        self.inner.num_actions()
+    }
+    fn transition(&self, s: State, a: Action) -> State {
+        if self.fuse.fetch_sub(1, Ordering::Relaxed) == 1 {
+            panic!("injected environment fault");
+        }
+        self.inner.transition(s, a)
+    }
+    fn reward(&self, s: State, a: Action) -> f64 {
+        self.inner.reward(s, a)
+    }
+    fn is_terminal(&self, s: State) -> bool {
+        self.inner.is_terminal(s)
+    }
+    fn is_valid_state(&self, s: State) -> bool {
+        self.inner.is_valid_state(s)
+    }
+}
+
+#[test]
+fn pool_survives_a_panicked_train_batch() {
+    // One shard's environment panics mid-batch. The panic must surface
+    // on the submitting thread — and the pool must come back clean: the
+    // same executor then drives a healthy batch to the bit-exact result.
+    let grid = |side: u32| {
+        GridWorld::builder(side, side)
+            .goal(side - 1, side - 1)
+            .actions(ActionSet::Four)
+            .build()
+    };
+    let envs: Vec<FlakyEnv> =
+        (0..4).map(|_| FlakyEnv::new(grid(8), u64::MAX)).collect();
+    let mut poisoned: Vec<FlakyEnv> =
+        (0..4).map(|_| FlakyEnv::new(grid(8), u64::MAX)).collect();
+    poisoned[2] = FlakyEnv::new(grid(8), 500);
+
+    // StallOnly picks the general fast path, which consults the live
+    // environment every sample (the fused path snapshots transitions
+    // once), so the fuse burns down mid-batch on a worker thread.
+    let cfg = AccelConfig::default()
+        .with_seed(67)
+        .with_hazard(HazardMode::StallOnly);
+    let pool = Arc::new(ShardedExecutor::new(2));
+
+    let mut doomed =
+        IndependentPipelines::<Q8_8>::new(&poisoned, cfg).with_executor(pool.clone());
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        doomed.train_batch(&poisoned, 8_000);
+    }));
+    assert!(outcome.is_err(), "environment fault must propagate");
+    drop(doomed);
+
+    // Same pool, healthy batch: bit-exact against the sequential run.
+    let mut reference = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+    reference.train_samples_fast_sequential(&envs, 2_000);
+    let mut after =
+        IndependentPipelines::<Q8_8>::new(&envs, cfg).with_executor(pool);
+    after.train_batch(&envs, 8_000);
+    assert_banks_identical(&reference, &after, "pool reused after panic");
 }
 
 #[test]

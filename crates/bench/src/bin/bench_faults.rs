@@ -1,0 +1,139 @@
+//! Tracked fault-tolerance campaign: SEU flux × protection level.
+//!
+//! Sweeps sustained per-sample SEU rates against {unprotected, ECC,
+//! ECC + Qmax scrub} Q-Learning engines (see
+//! `qtaccel_bench::experiments::faults`) and prices the SECDED overhead
+//! over Table I sizes, writing `BENCH_faults.json` at the workspace
+//! root so degradation-curve regressions show up in diffs.
+//!
+//! `--quick` trims the campaign to one heavy-flux rate on a small grid
+//! and writes `results/BENCH_faults_quick.json` instead, leaving the
+//! tracked baseline alone.
+//!
+//! Either way the run self-checks the protection ladder and exits
+//! non-zero if it does not hold:
+//!
+//! * the fault-free reference converges (step-optimality > 0.9);
+//! * the unprotected engine degrades under the heaviest swept flux;
+//! * ECC actually corrects (nonzero corrected count at every rate);
+//! * ECC + scrub holds ≥ 95 % of the fault-free step-optimality at
+//!   every swept rate — the acceptance gate `scripts/verify.sh` runs.
+
+use qtaccel_bench::experiments::faults;
+use qtaccel_bench::impl_to_json;
+use qtaccel_bench::report::results_dir;
+use qtaccel_telemetry::{manifest, Json, ToJson};
+use std::path::{Path, PathBuf};
+
+#[derive(Debug)]
+struct Report {
+    quick: bool,
+    rates: Vec<f64>,
+    gate_floor: f64,
+    gate_note: &'static str,
+    campaign: faults::Faults,
+    manifest: Json,
+}
+impl_to_json!(Report {
+    quick,
+    rates,
+    gate_floor,
+    gate_note,
+    campaign,
+    manifest
+});
+
+/// ECC + scrub must hold this fraction of fault-free step-optimality.
+const GATE_FLOOR: f64 = 0.95;
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            other => {
+                eprintln!("error: unknown argument `{other}` (supported: --quick)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (states, samples, rates): (usize, u64, Vec<f64>) = if quick {
+        (256, 150_000, vec![1e-2])
+    } else {
+        (1_024, 600_000, vec![1e-4, 1e-3, 1e-2])
+    };
+    let campaign = faults::run(states, samples, &rates);
+    println!("{}", campaign.render());
+
+    // The protection-ladder gate.
+    let mut failures = Vec::new();
+    let clean = campaign.rows[0].optimality_fault_free;
+    if clean <= 0.9 {
+        failures.push(format!("fault-free reference did not converge: {clean:.3}"));
+    }
+    let heaviest = rates.iter().copied().fold(0.0f64, f64::max);
+    for r in &campaign.rows {
+        match r.protection.as_str() {
+            "unprotected" if r.seu_rate == heaviest => {
+                if r.optimality >= clean - 0.02 {
+                    failures.push(format!(
+                        "unprotected run did not degrade at rate {:.0e}: {:.3} vs clean {:.3}",
+                        r.seu_rate, r.optimality, clean
+                    ));
+                }
+                if r.optimality_recovered >= clean - 0.02 {
+                    failures.push(format!(
+                        "unprotected Qmax loss was not permanent at rate {:.0e}: \
+                         recovered to {:.3} vs clean {:.3}",
+                        r.seu_rate, r.optimality_recovered, clean
+                    ));
+                }
+            }
+            "ecc" | "ecc_scrub" => {
+                if r.corrected == 0 {
+                    failures.push(format!(
+                        "{} at rate {:.0e} corrected nothing despite {} strikes",
+                        r.protection, r.seu_rate, r.injected
+                    ));
+                }
+                if r.protection == "ecc_scrub" && r.optimality_recovered < GATE_FLOOR * clean {
+                    failures.push(format!(
+                        "ecc_scrub at rate {:.0e} below the {GATE_FLOOR} floor: \
+                         recovered {:.3} vs clean {:.3}",
+                        r.seu_rate, r.optimality_recovered, clean
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let report = Report {
+        quick,
+        rates,
+        gate_floor: GATE_FLOOR,
+        gate_note: "ECC+scrub must recover to >= 95% of fault-free \
+                    step-optimality at every swept rate; unprotected must \
+                    degrade permanently at the heaviest; ECC must correct",
+        campaign,
+        manifest: manifest::provenance(),
+    };
+    let path: PathBuf = if quick {
+        results_dir().join("BENCH_faults_quick.json")
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_faults.json")
+    };
+    std::fs::write(&path, report.to_json().pretty()).expect("write faults report");
+    println!("wrote {}", path.display());
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("error: {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("gate: protection ladder holds at every swept rate");
+}

@@ -52,6 +52,14 @@ pub trait QValue:
     /// Flip one bit of the stored word (`bit < storage_bits()`): the
     /// single-event-upset model for the BRAM soft-error experiments.
     fn flip_bit(self, bit: u32) -> Self;
+    /// The stored memory word, right-aligned in a `u64` (bits at and
+    /// above `storage_bits()` are zero). This is the word a checkpoint
+    /// serializes and an ECC codec protects; `from_bits(to_bits(x)) == x`
+    /// exactly, for every representable value including NaNs.
+    fn to_bits(self) -> u64;
+    /// Reinterpret a stored memory word (inverse of [`QValue::to_bits`];
+    /// bits above `storage_bits()` are ignored).
+    fn from_bits(bits: u64) -> Self;
 }
 
 macro_rules! impl_qvalue_float {
@@ -113,6 +121,14 @@ macro_rules! impl_qvalue_float {
             fn flip_bit(self, bit: u32) -> Self {
                 debug_assert!(bit < $bits);
                 <$ty>::from_bits(self.to_bits() ^ (1 << bit))
+            }
+            #[inline]
+            fn to_bits(self) -> u64 {
+                <$ty>::to_bits(self) as u64
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                <$ty>::from_bits(bits as _)
             }
         }
     };
@@ -178,6 +194,22 @@ impl<S: Storage, const FRAC: u32> QValue for Fixed<S, FRAC> {
         // which is not what a flipped memory word does).
         let shift = 64 - S::BITS;
         Fixed::from_raw(S::from_i64_saturating((raw << shift) >> shift))
+    }
+    #[inline]
+    fn to_bits(self) -> u64 {
+        let mask = if S::BITS == 64 {
+            u64::MAX
+        } else {
+            (1u64 << S::BITS) - 1
+        };
+        self.raw().to_i64() as u64 & mask
+    }
+    #[inline]
+    fn from_bits(bits: u64) -> Self {
+        // Sign-extend from the storage width, as flip_bit does: the word
+        // is a raw two's complement memory image, not a saturating value.
+        let shift = 64 - S::BITS;
+        Fixed::from_raw(S::from_i64_saturating(((bits as i64) << shift) >> shift))
     }
 }
 
@@ -263,6 +295,27 @@ mod tests {
         let x = Q8_8::from_f64(2.0);
         let y = x.flip_bit(0);
         assert!((y.to_f64() - 2.0).abs() <= 1.0 / 256.0 + 1e-12);
+    }
+
+    #[test]
+    fn bits_round_trip_exactly() {
+        for v in [-128.0, -1.5, -1.0 / 256.0, 0.0, 0.5, 2.25, 127.5] {
+            let x = Q8_8::from_f64(v);
+            assert_eq!(Q8_8::from_bits(QValue::to_bits(x)), x, "{v}");
+            assert!(QValue::to_bits(x) >> 16 == 0, "word must be 16-bit clean");
+            let y = Q16_16::from_f64(v);
+            assert_eq!(Q16_16::from_bits(QValue::to_bits(y)), y, "{v}");
+            let f: f64 = v;
+            assert_eq!(<f64 as QValue>::from_bits(QValue::to_bits(f)), f);
+            let g = v as f32;
+            assert_eq!(<f32 as QValue>::from_bits(QValue::to_bits(g)), g);
+        }
+        // from_bits/flip_bit agree on what a memory word means.
+        let x = Q8_8::from_f64(0.5);
+        assert_eq!(
+            x.flip_bit(15),
+            Q8_8::from_bits(QValue::to_bits(x) ^ (1 << 15))
+        );
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct BramStats {
     pub writes: u64,
     /// Same-address same-cycle write collisions (one write was lost).
     pub write_collisions: u64,
+    /// Fault-injector bit flips landed via [`Bram::inject`]. Unlike
+    /// `writes`, these never correspond to a port operation — they model
+    /// radiation upsetting a cell between accesses — but they must still
+    /// be visible in stats dumps so fault campaigns are auditable.
+    pub injected_writes: u64,
 }
 
 /// A dual-port synchronous RAM holding `T` words.
@@ -169,6 +174,15 @@ impl<T: Copy + Default> Bram<T> {
     /// equivalent of the initial memory file loaded at configuration).
     pub fn poke(&mut self, addr: usize, value: T) {
         self.data[addr] = value;
+    }
+
+    /// A fault-injector write: same zero-latency semantics as
+    /// [`Bram::poke`], but counted in [`BramStats::injected_writes`] so
+    /// injected corruption shows up in stats dumps instead of silently
+    /// bypassing the bookkeeping.
+    pub fn inject(&mut self, addr: usize, value: T) {
+        self.data[addr] = value;
+        self.stats.injected_writes += 1;
     }
 
     /// Whole contents, for post-run extraction.
@@ -330,6 +344,18 @@ mod tests {
             b.tick();
         }
         assert_eq!(b.stats().reads, 5);
+    }
+
+    #[test]
+    fn inject_counts_but_poke_does_not() {
+        let mut b = Bram::<u32>::new(8, 16);
+        b.poke(1, 5);
+        assert_eq!(b.stats().injected_writes, 0, "poke is configuration, not a fault");
+        b.inject(1, 6);
+        b.inject(2, 7);
+        assert_eq!(b.peek(1), 6);
+        assert_eq!(b.stats().injected_writes, 2);
+        assert_eq!(b.stats().writes, 0, "injected flips are not port writes");
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! Online fault injection and SECDED ECC protection.
+//!
+//! The paper motivates QTAccel with edge deployments — robotics and
+//! explicitly *space rovers* — where BRAM cells suffer radiation-induced
+//! single-event upsets (SEUs). Two primitives model that environment:
+//!
+//! * [`FaultInjector`] — a programmable SEU source: an LFSR-driven
+//!   Bernoulli process (per-opportunity strike probability, deterministic
+//!   by seed) that picks a uniform word address and bit position for each
+//!   strike. The same injector drives both the HDL-level [`crate::Bram`]
+//!   model (via [`FaultInjector::strike_bram`], which lands flips through
+//!   [`crate::Bram::inject`] so they are counted in `BramStats`) and the
+//!   accelerator's behavioural fault runtime.
+//! * [`Secded`] — a single-error-correct / double-error-detect Hamming
+//!   code in the standard 64/72 shape, scaled to any word width up to
+//!   64 bits: `p` Hamming parity bits with `2^p ≥ k + p + 1` plus one
+//!   overall-parity bit. Xilinx BRAM ships exactly this codec as the
+//!   built-in ECC option on 64-bit-wide ports; narrower tables pay the
+//!   same structure at their own width. The fabric cost of the
+//!   encode/decode logic is priced in [`crate::resource::secded_report`],
+//!   and the storage cost of the wider codewords falls out of
+//!   [`crate::bram::blocks_for`] applied to [`Secded::code_bits`].
+//!
+//! Codeword layout (an `u128` holds up to the 72-bit code): bit 0 is the
+//! overall parity bit; bits `1..=k+p` are the classic Hamming positions,
+//! parity bits at power-of-two positions, data bits filling the rest in
+//! ascending order.
+
+use crate::bram::Bram;
+use crate::lfsr::Lfsr32;
+use crate::rng::RngSource;
+
+/// Outcome of decoding one SECDED codeword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SecdedResult {
+    /// Codeword was error-free; the payload is returned as stored.
+    Clean(u64),
+    /// Exactly one codeword bit had flipped; it was corrected.
+    /// `code_bit` is the flipped position in the codeword (0 = the
+    /// overall parity bit, i.e. the payload was never at risk).
+    Corrected {
+        /// The corrected payload.
+        data: u64,
+        /// Position of the flipped codeword bit.
+        code_bit: u32,
+    },
+    /// An even number (≥ 2) of bits flipped: detected, not correctable.
+    DoubleError,
+}
+
+/// A SECDED (Hamming + overall parity) codec for `k ≤ 64` data bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Secded {
+    k: u32,
+    p: u32,
+}
+
+impl Secded {
+    /// Codec for `data_bits`-wide payloads (`1..=64`).
+    pub fn new(data_bits: u32) -> Self {
+        assert!(
+            (1..=64).contains(&data_bits),
+            "SECDED payload must be 1..=64 bits, got {data_bits}"
+        );
+        let mut p = 2u32;
+        while (1u64 << p) < data_bits as u64 + p as u64 + 1 {
+            p += 1;
+        }
+        Self { k: data_bits, p }
+    }
+
+    /// Payload width in bits.
+    pub fn data_bits(&self) -> u32 {
+        self.k
+    }
+
+    /// Hamming parity bits (excluding the overall-parity bit).
+    pub fn hamming_parity_bits(&self) -> u32 {
+        self.p
+    }
+
+    /// Total check bits: Hamming parity plus the overall-parity bit.
+    pub fn parity_bits(&self) -> u32 {
+        self.p + 1
+    }
+
+    /// Full codeword width — the word width a protected memory stores.
+    /// For the classic 64-bit payload this is 72, the Xilinx ECC shape.
+    pub fn code_bits(&self) -> u32 {
+        self.k + self.p + 1
+    }
+
+    /// Place data bits into their (non-power-of-two) codeword positions,
+    /// leaving all parity positions zero.
+    fn place(&self, data: u64) -> u128 {
+        let m = self.k + self.p;
+        let mut code = 0u128;
+        let mut d = 0u32;
+        for pos in 1..=m {
+            if !pos.is_power_of_two() {
+                code |= u128::from(data >> d & 1) << pos;
+                d += 1;
+            }
+        }
+        code
+    }
+
+    /// Inverse of `place`: pull the payload out of a codeword.
+    fn extract(&self, code: u128) -> u64 {
+        let m = self.k + self.p;
+        let mut data = 0u64;
+        let mut d = 0u32;
+        for pos in 1..=m {
+            if !pos.is_power_of_two() {
+                data |= ((code >> pos & 1) as u64) << d;
+                d += 1;
+            }
+        }
+        data
+    }
+
+    /// Encode a payload (must fit in [`Secded::data_bits`]).
+    pub fn encode(&self, data: u64) -> u128 {
+        if self.k < 64 {
+            assert!(
+                data >> self.k == 0,
+                "payload {data:#x} wider than {} bits",
+                self.k
+            );
+        }
+        let m = self.k + self.p;
+        let mut code = self.place(data);
+        // Each Hamming parity bit at position 2^i covers every position
+        // with bit i set; choose it so the covered group has even parity.
+        for i in 0..self.p {
+            let mut parity = 0u32;
+            for pos in 1..=m {
+                if pos >> i & 1 == 1 {
+                    parity ^= (code >> pos & 1) as u32;
+                }
+            }
+            code |= u128::from(parity) << (1u32 << i);
+        }
+        // Overall parity over the Hamming codeword makes the full word
+        // even-parity — the bit that separates single from double errors.
+        let overall = (code >> 1).count_ones() & 1;
+        code | u128::from(overall)
+    }
+
+    /// Decode a codeword: correct a single flipped bit, detect a double.
+    pub fn decode(&self, code: u128) -> SecdedResult {
+        let m = self.k + self.p;
+        let mut syndrome = 0u32;
+        for pos in 1..=m {
+            if code >> pos & 1 == 1 {
+                syndrome ^= pos;
+            }
+        }
+        let word_mask = (1u128 << (m + 1)) - 1;
+        let overall_odd = (code & word_mask).count_ones() & 1 == 1;
+        match (syndrome, overall_odd) {
+            // Even parity, zero syndrome: clean word.
+            (0, false) => SecdedResult::Clean(self.extract(code)),
+            // Odd parity, zero syndrome: the overall-parity bit itself
+            // flipped — the payload is intact.
+            (0, true) => SecdedResult::Corrected {
+                data: self.extract(code),
+                code_bit: 0,
+            },
+            // Odd parity, nonzero syndrome: classic single-bit error at
+            // the syndrome position. A syndrome beyond the codeword can
+            // only come from ≥3 flips; report it as uncorrectable.
+            (s, true) if s <= m => SecdedResult::Corrected {
+                data: self.extract(code ^ (1u128 << s)),
+                code_bit: s,
+            },
+            (_, true) => SecdedResult::DoubleError,
+            // Even parity, nonzero syndrome: an even number of flips.
+            (_, false) => SecdedResult::DoubleError,
+        }
+    }
+}
+
+/// A deterministic online SEU source.
+///
+/// Each *opportunity* (one call to [`FaultInjector::maybe_strike`], e.g.
+/// one retired sample or one simulated cycle) strikes with a fixed
+/// probability; a strike picks a uniform word address and bit position
+/// from the same LFSR stream, so a campaign is exactly reproducible from
+/// its seed.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: Lfsr32,
+    /// Strike probability as a 2³² fixed fraction (2³² ⇒ always).
+    threshold: u64,
+    injected: u64,
+}
+
+impl FaultInjector {
+    /// Injector with the given seed and per-opportunity strike
+    /// probability (`0.0..=1.0`, flips per opportunity).
+    pub fn new(seed: u32, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "SEU rate must be a probability, got {rate}"
+        );
+        Self {
+            rng: Lfsr32::new(seed),
+            threshold: (rate * 4_294_967_296.0).round() as u64,
+            injected: 0,
+        }
+    }
+
+    /// Total strikes landed so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// One opportunity: `Some((addr, bit))` on a strike against a memory
+    /// of `entries` words × `width_bits`, `None` otherwise. Address and
+    /// bit draws happen only on a strike, so the stream position depends
+    /// only on the opportunity count and strike history — deterministic
+    /// for a fixed seed and rate.
+    pub fn maybe_strike(&mut self, entries: usize, width_bits: u32) -> Option<(usize, u32)> {
+        debug_assert!(entries > 0 && entries <= u32::MAX as usize);
+        if (self.rng.next_u32() as u64) < self.threshold {
+            self.injected += 1;
+            let addr = self.rng.below(entries as u32) as usize;
+            let bit = self.rng.below(width_bits);
+            Some((addr, bit))
+        } else {
+            None
+        }
+    }
+
+    /// One opportunity against a [`Bram`]: on a strike, read the word,
+    /// flip the drawn bit via `flip`, and land it through
+    /// [`Bram::inject`] so the hit shows in `BramStats::injected_writes`.
+    pub fn strike_bram<T: Copy + Default>(
+        &mut self,
+        bram: &mut Bram<T>,
+        flip: impl FnOnce(T, u32) -> T,
+    ) -> Option<(usize, u32)> {
+        let (addr, bit) = self.maybe_strike(bram.entries(), bram.width_bits())?;
+        let word = bram.peek(addr);
+        bram.inject(addr, flip(word, bit));
+        Some((addr, bit))
+    }
+
+    /// Current LFSR register state — for crash-safe checkpointing.
+    pub fn rng_state(&self) -> u32 {
+        self.rng.peek()
+    }
+
+    /// Restore the stream position and strike count captured by a
+    /// checkpoint (`rng_state` must come from [`FaultInjector::rng_state`],
+    /// which is never zero, so the seed remap cannot fire).
+    pub fn restore(&mut self, rng_state: u32, injected: u64) {
+        self.rng = Lfsr32::new(rng_state);
+        self.injected = injected;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_64_72_shape() {
+        let s = Secded::new(64);
+        assert_eq!(s.hamming_parity_bits(), 7);
+        assert_eq!(s.code_bits(), 72);
+        // Narrow tables: Q8.8 words are 16 bits -> 22-bit codewords.
+        assert_eq!(Secded::new(16).code_bits(), 16 + 5 + 1);
+        assert_eq!(Secded::new(32).code_bits(), 32 + 6 + 1);
+    }
+
+    #[test]
+    fn clean_round_trip_all_widths() {
+        let mut rng = Lfsr32::new(0xC0DE);
+        for k in 1..=64u32 {
+            let s = Secded::new(k);
+            for _ in 0..50 {
+                let data = ((rng.next_u32() as u64) << 32 | rng.next_u32() as u64)
+                    & if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+                let code = s.encode(data);
+                assert_eq!(s.decode(code), SecdedResult::Clean(data), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_corrected() {
+        for k in [8u32, 16, 33, 64] {
+            let s = Secded::new(k);
+            let data = 0xA5A5_5A5A_DEAD_BEEFu64 & if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+            let code = s.encode(data);
+            for bit in 0..s.code_bits() {
+                match s.decode(code ^ (1u128 << bit)) {
+                    SecdedResult::Corrected { data: d, code_bit } => {
+                        assert_eq!(d, data, "k={k} bit={bit}");
+                        assert_eq!(code_bit, bit);
+                    }
+                    other => panic!("k={k} bit={bit}: expected correction, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_bit_flip_is_detected() {
+        let s = Secded::new(16);
+        let code = s.encode(0xBEEF);
+        let w = s.code_bits();
+        for a in 0..w {
+            for b in (a + 1)..w {
+                let hit = code ^ (1u128 << a) ^ (1u128 << b);
+                assert_eq!(
+                    s.decode(hit),
+                    SecdedResult::DoubleError,
+                    "flips at {a},{b} must be detected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than")]
+    fn oversized_payload_rejected() {
+        Secded::new(8).encode(0x100);
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_counts() {
+        let run = || {
+            let mut inj = FaultInjector::new(0xACE1, 0.25);
+            (0..1000)
+                .filter_map(|_| inj.maybe_strike(256, 16))
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed must reproduce the campaign");
+        let frac = a.len() as f64 / 1000.0;
+        assert!((frac - 0.25).abs() < 0.05, "strike fraction {frac}");
+        for &(addr, bit) in &a {
+            assert!(addr < 256 && bit < 16);
+        }
+    }
+
+    #[test]
+    fn injector_rate_edges() {
+        let mut never = FaultInjector::new(7, 0.0);
+        assert!((0..500).all(|_| never.maybe_strike(64, 16).is_none()));
+        let mut always = FaultInjector::new(7, 1.0);
+        assert!((0..500).all(|_| always.maybe_strike(64, 16).is_some()));
+        assert_eq!(always.injected(), 500);
+    }
+
+    #[test]
+    fn strike_bram_lands_in_injected_writes() {
+        let mut bram = Bram::<u16>::new(64, 16);
+        let mut inj = FaultInjector::new(42, 1.0);
+        let hit = inj.strike_bram(&mut bram, |w, bit| w ^ (1u16 << bit));
+        let (addr, bit) = hit.expect("rate 1.0 must strike");
+        assert_eq!(bram.peek(addr), 1u16 << bit);
+        assert_eq!(bram.stats().injected_writes, 1);
+        assert_eq!(bram.stats().writes, 0);
+    }
+
+    #[test]
+    fn injector_state_round_trips_through_restore() {
+        let mut a = FaultInjector::new(9, 0.5);
+        for _ in 0..100 {
+            a.maybe_strike(128, 16);
+        }
+        let mut b = FaultInjector::new(9, 0.5);
+        b.restore(a.rng_state(), a.injected());
+        for _ in 0..100 {
+            assert_eq!(a.maybe_strike(128, 16), b.maybe_strike(128, 16));
+        }
+        assert_eq!(a.injected(), b.injected());
+    }
+}

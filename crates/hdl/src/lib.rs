@@ -24,10 +24,15 @@
 //! * [`regfile`] — the memory-mapped perf-counter register file backing
 //!   the telemetry layer's `CounterBank` (crate `qtaccel-telemetry`),
 //!   with a fabric cost entry in [`resource::perf_regfile_report`].
+//! * [`fault`] — the radiation environment of the paper's motivating
+//!   deployments: a deterministic LFSR-driven SEU injector and a SECDED
+//!   (Hamming 64/72-style) ECC codec for protected memories, priced in
+//!   [`resource::secded_report`].
 
 pub mod bram;
 pub mod dsp;
 pub mod explut;
+pub mod fault;
 pub mod lfsr;
 pub mod pipeline;
 pub mod regfile;
@@ -37,6 +42,7 @@ pub mod rng;
 pub use bram::{Bram, BramPort, WriteCollisionPolicy};
 pub use dsp::dsp_slices_for_mul;
 pub use explut::ExpLut;
+pub use fault::{FaultInjector, Secded, SecdedResult};
 pub use lfsr::{Lfsr16, Lfsr32, Lfsr64, NormalLfsr};
 pub use pipeline::CycleStats;
 pub use regfile::PerfRegFile;

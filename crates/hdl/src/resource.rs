@@ -183,6 +183,41 @@ pub fn histogram_regfile_report(num_buckets: u64, counter_bits: u64) -> Resource
     }
 }
 
+/// Fabric cost of a SECDED (Hamming + overall parity) encoder/decoder
+/// pair for one `data_bits`-wide memory (the [`crate::fault::Secded`]
+/// codec): the encoder builds `p` parity trees over roughly half the
+/// codeword each plus the overall-parity tree (XOR chains pack ~5 inputs
+/// per LUT6); the decoder re-derives the same `p + 1` parities from the
+/// stored word, decodes the `p`-bit syndrome (one LUT per data bit) and
+/// applies the correcting XOR (one more per data bit). The corrected
+/// word and the two status flags are registered so the codec does not
+/// stretch the BRAM read path.
+///
+/// The *storage* overhead of the wider codewords is not in this report —
+/// it falls out of [`crate::bram::blocks_for`] applied to
+/// [`crate::fault::Secded::code_bits`], which is how the accelerator's
+/// resource model accounts for it.
+pub fn secded_report(data_bits: u32) -> ResourceReport {
+    let s = crate::fault::Secded::new(data_bits);
+    let k = data_bits as u64;
+    let p = s.hamming_parity_bits() as u64;
+    let m = k + p; // Hamming codeword, without the overall-parity bit
+    // XOR chain of n inputs: ceil((n-1)/5) LUT6s.
+    let xor_luts = |inputs: u64| inputs.saturating_sub(1).div_ceil(5);
+    let parity_trees = p * xor_luts(m.div_ceil(2)) + xor_luts(m + 1);
+    let lut = parity_trees      // encoder
+        + parity_trees          // decoder syndrome re-derivation
+        + k                     // syndrome decode (position match per data bit)
+        + k;                    // correction XOR per data bit
+    ResourceReport {
+        dsp: 0,
+        bram36: 0,
+        uram: 0,
+        lut,
+        ff: k + 2, // registered corrected word + corrected/uncorrectable flags
+    }
+}
+
 /// Resource utilization as percentages of a device's pools.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]

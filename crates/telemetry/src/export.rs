@@ -204,6 +204,12 @@ pub fn check_openmetrics(text: &str) -> Result<(), String> {
 /// the thread and closes the port. Every request, whatever the path,
 /// receives the full exposition — there is exactly one document to
 /// serve.
+///
+/// The loop is single-threaded, so one misbehaving client must not
+/// wedge every scraper behind it: reads *and* writes carry an
+/// [`IO_TIMEOUT`] deadline (a stalled or unread connection is abandoned,
+/// not waited on), and a request head larger than [`MAX_REQUEST_BYTES`]
+/// is answered with `431` instead of being buffered without bound.
 pub struct MetricsServer {
     addr: SocketAddr,
     registry: Arc<Mutex<MetricsRegistry>>,
@@ -216,6 +222,46 @@ impl std::fmt::Debug for MetricsServer {
         f.debug_struct("MetricsServer")
             .field("addr", &self.addr)
             .finish_non_exhaustive()
+    }
+}
+
+/// Per-connection socket deadline for the scrape endpoint, on both the
+/// request read and the response write.
+pub const IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Largest request head the scrape endpoint will buffer before
+/// answering `431` — scrape requests are one line plus a few headers.
+pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How draining one request head went.
+enum RequestHead {
+    /// The blank line arrived: a complete (enough) HTTP request.
+    Complete,
+    /// The client streamed past [`MAX_REQUEST_BYTES`] without one.
+    TooLarge,
+    /// The client stalled ([`IO_TIMEOUT`]) or hung up first.
+    Stalled,
+}
+
+/// Drain the request head until its terminating blank line, the size
+/// cap, or the socket deadline — whichever comes first.
+fn read_request_head(stream: &mut TcpStream) -> RequestHead {
+    let mut head = Vec::with_capacity(256);
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return RequestHead::Stalled,
+            Ok(n) => {
+                head.extend_from_slice(&chunk[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n") {
+                    return RequestHead::Complete;
+                }
+                if head.len() > MAX_REQUEST_BYTES {
+                    return RequestHead::TooLarge;
+                }
+            }
+            Err(_) => return RequestHead::Stalled,
+        }
     }
 }
 
@@ -236,19 +282,34 @@ impl MetricsServer {
                         break;
                     }
                     let Ok(mut stream) = conn else { continue };
-                    // Drain (best-effort) the request head, then answer.
-                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-                    let mut head = [0u8; 1024];
-                    let _ = stream.read(&mut head);
-                    let body = encode_openmetrics(&lock_unpoisoned(&reg_thread));
-                    let response = format!(
-                        "HTTP/1.1 200 OK\r\n\
-                         Content-Type: application/openmetrics-text; version=1.0.0; charset=utf-8\r\n\
-                         Content-Length: {}\r\n\
-                         Connection: close\r\n\r\n{}",
-                        body.len(),
-                        body
-                    );
+                    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                    let response = match read_request_head(&mut stream) {
+                        RequestHead::TooLarge => {
+                            let msg = "request head too large\n";
+                            format!(
+                                "HTTP/1.1 431 Request Header Fields Too Large\r\n\
+                                 Content-Type: text/plain; charset=utf-8\r\n\
+                                 Content-Length: {}\r\n\
+                                 Connection: close\r\n\r\n{msg}",
+                                msg.len()
+                            )
+                        }
+                        // Complete requests get the document; so do
+                        // stalled ones, best-effort — there is only one
+                        // resource, and the write deadline bounds the
+                        // time a dead peer can cost.
+                        RequestHead::Complete | RequestHead::Stalled => {
+                            let body = encode_openmetrics(&lock_unpoisoned(&reg_thread));
+                            format!(
+                                "HTTP/1.1 200 OK\r\n\
+                                 Content-Type: application/openmetrics-text; version=1.0.0; charset=utf-8\r\n\
+                                 Content-Length: {}\r\n\
+                                 Connection: close\r\n\r\n{body}",
+                                body.len()
+                            )
+                        }
+                    };
                     let _ = stream.write_all(response.as_bytes());
                 }
             })?;
@@ -622,6 +683,41 @@ mod tests {
         let body2 = scrape(server.addr()).expect("second scrape");
         assert!(body2.contains("qtaccel_live 1\n"));
         drop(server); // joins the serving thread, closes the port
+    }
+
+    #[test]
+    fn slow_and_oversized_clients_cannot_wedge_the_server() {
+        let server = MetricsServer::serve("127.0.0.1:0").expect("bind ephemeral");
+        server.update(|reg| reg.set_gauge("qtaccel_live", "live", 1.0));
+
+        // A slow-loris client: partial request head, then silence. The
+        // read deadline abandons it within IO_TIMEOUT.
+        let mut loris = TcpStream::connect(server.addr()).expect("connect");
+        loris.write_all(b"GET /metrics HTTP/1.1\r\nHost: qt").expect("partial head");
+
+        // A client streaming an unbounded "request": the size cap answers
+        // 431 instead of buffering it all.
+        let mut hog = TcpStream::connect(server.addr()).expect("connect");
+        hog.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let junk = [b'x'; 1024];
+        let mut sent = 0;
+        while sent <= MAX_REQUEST_BYTES {
+            hog.write_all(&junk).expect("stream junk");
+            sent += junk.len();
+        }
+        let mut status = String::new();
+        hog.read_to_string(&mut status).expect("read 431");
+        assert!(
+            status.starts_with("HTTP/1.1 431 "),
+            "oversized head must be refused: {status:?}"
+        );
+
+        // Behind both of them, a well-behaved scraper is still served
+        // promptly (scrape's own 5 s deadline is the proof).
+        let body = scrape(server.addr()).expect("scrape behind bad clients");
+        check_openmetrics(&body).expect("valid exposition");
+        assert!(body.contains("qtaccel_live 1\n"));
+        drop(loris);
     }
 
     fn stall_stream() -> Vec<Event> {

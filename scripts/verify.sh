@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Tier-1 verification: offline build, tests, lints, the telemetry
 # zero-cost equivalence suite, the metrics-service suite plus a live
-# scrape smoke test, and two instrumented quick benches that
-# fail if (a) the disabled-telemetry (NullSink) fast path or (b) the
-# scale-out executor's aggregate rate regressed >5% against the tracked
-# BENCH_throughput.json / BENCH_scaling.json baselines. Quick runs
-# write results/BENCH_*_quick.json; the tracked root baselines are only
-# refreshed by full (no --quick) runs.
+# scrape smoke test, the fault-tolerance suites (SEU injection,
+# checkpoint/restore) with the self-gating protection-ladder campaign
+# (unprotected degrades permanently, ECC corrects, ECC+scrub recovers
+# to >=95% of fault-free optimality), and two instrumented quick
+# benches that fail if (a) the disabled-telemetry (NullSink) fast path
+# or (b) the scale-out executor's aggregate rate regressed >5% against
+# the tracked BENCH_throughput.json / BENCH_scaling.json baselines.
+# Quick runs write results/BENCH_*_quick.json; the tracked root
+# baselines are only refreshed by full (no --quick) runs.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,6 +31,12 @@ cargo test -q --release --offline -p qtaccel-accel --test metrics
 echo "== metrics smoke: serve on an ephemeral port, scrape, validate =="
 cargo run --release --offline -p qtaccel-bench --bin metrics_smoke
 
+echo "== fault-injection suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test faults
+
+echo "== checkpoint/restore suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test checkpoint
+
 echo "== cargo clippy (offline, deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -36,5 +45,8 @@ cargo run --release --offline -p qtaccel-bench --bin bench_throughput -- --quick
 
 echo "== bench_scaling --quick --check-baseline =="
 cargo run --release --offline -p qtaccel-bench --bin bench_scaling -- --quick --check-baseline
+
+echo "== bench_faults --quick (protection-ladder gate) =="
+cargo run --release --offline -p qtaccel-bench --bin bench_faults -- --quick
 
 echo "verify: OK"
