@@ -1,0 +1,432 @@
+//! The K-way interleaved multi-stream fast-path executor (DESIGN.md
+//! §2.12).
+//!
+//! The fused window-register executor (`run_fast_forwarding_qmax`) runs
+//! one sample stream at the host's memory-latency floor: every iteration
+//! chains a Q-row load into a dependent update, so throughput is bounded
+//! by one L2-latency round trip per sample, not by bandwidth. This
+//! module drives the same loop body over **K independent pipelines'
+//! streams interleaved** — one step per stream per round — so the K
+//! Q-row loads are independent dependency chains the out-of-order core
+//! overlaps. Data-level parallelism comes from two packings:
+//!
+//! * the per-`(s, a)` transition *and* reward collapse into one `u64`
+//!   word (`next_packed` in the low 32 bits, the reward's ≤32-bit
+//!   storage word in the upper lanes — `qtaccel_fixed::lanes`), one
+//!   load where the fused cell streams 8 bytes for the same fields;
+//! * each stream's policy RNGs run as [`Lfsr32Batched`] views, whose
+//!   `32·K`-shift leap tables keep every lane's refill off the critical
+//!   path.
+//!
+//! On top of the K-way round-robin, each stream is **software
+//! pipelined**: the sample front end (stages 1–2 — selection, RNG
+//! draws, the transition-word and Q-operand loads) runs at the end of
+//! the *previous* step ([`Stream::advance_front`]), so its loads have a
+//! full round of the other streams' work to complete before
+//! [`Stream::step`] consumes them.
+//!
+//! Bit-exactness is the contract, per pipeline: the loop body computes
+//! exactly the fused executor's sample (same RNG draw order per
+//! register, same forward counting against the 3-slot address windows,
+//! same carry semantics — the front-end hoist is a pure reorder across
+//! the inter-sample boundary, where no conflicting access sits between),
+//! and entry/exit go through [`AccelPipeline::interleave_checkout`] /
+//! [`interleave_checkin`] — the fused entry/exit protocols verbatim —
+//! so every stream's tables, stats and pending queues land exactly
+//! where any other executor would put them (enforced by
+//! `tests/interleave.rs`). Ineligible pipelines (instrumented sink,
+//! fault runtime, non-forwarding hazards, exact-scan maxima, >32-bit
+//! values) never enter a group: they are routed to the general
+//! executor, bit-identically.
+//!
+//! [`interleave_checkin`]: AccelPipeline::interleave_checkin
+
+use std::sync::Arc;
+
+use crate::pipeline::{AccelPipeline, FastLane, FastLayout, NO_ADDR, TERMINAL_BIT};
+use qtaccel_core::policy::Policy;
+use qtaccel_envs::{sa_index, Environment};
+use qtaccel_fixed::{lanes, QValue};
+use qtaccel_hdl::lfsr::Lfsr32Batched;
+use qtaccel_hdl::pipeline::CycleStats;
+use qtaccel_hdl::rng::epsilon_to_q32;
+use qtaccel_telemetry::TraceSink;
+
+/// Pre-resolved policy unit — the same compaction the fused executor
+/// applies (identical draw order to the cycle-accurate selectors).
+#[derive(Clone, Copy)]
+enum FastPolicy {
+    Random,
+    Greedy,
+    Eps(u32),
+}
+
+fn resolve(p: Policy, role: &str) -> FastPolicy {
+    match p {
+        Policy::Random => FastPolicy::Random,
+        Policy::Greedy => FastPolicy::Greedy,
+        Policy::EpsilonGreedy { epsilon } => FastPolicy::Eps(epsilon_to_q32(epsilon)),
+        Policy::Boltzmann { .. } => panic!(
+            "Boltzmann {role} policy is not synthesizable on the QRL engine; \
+             use the probability-table bandit engine (qtaccel_accel::bandit)"
+        ),
+    }
+}
+
+/// The software-pipelined front end of one sample: everything the
+/// fused executor's stages 1–2 produce (state, behaviour action, the
+/// packed transition word's fields, the Q operands and the update
+/// selection). [`Stream::advance_front`] computes it at the **end** of
+/// the previous step, so by the time [`Stream::step`] consumes these
+/// operands the loads have had a full round of other streams' work to
+/// complete — the table loads of the K streams pipeline instead of
+/// serializing on one stream's carry chain.
+#[derive(Clone, Copy)]
+struct Front<V> {
+    s: u32,
+    a: u32,
+    qaddr: usize,
+    packed: u32,
+    s_next: u32,
+    q_sa: V,
+    reward: V,
+    a_next: u32,
+    q_next: V,
+    read_q: bool,
+}
+
+/// One pipeline's in-flight stream state: the checked-out [`FastLane`],
+/// its shard of the packed transition image, batched RNG views, and the
+/// per-stream accounting the exit protocol needs.
+struct Stream<'a, V, E> {
+    /// Index into the caller's leg slice (for check-in).
+    leg: usize,
+    lane: FastLane<V>,
+    tr: Arc<Vec<u64>>,
+    env: &'a E,
+    behavior_rng: Lfsr32Batched<2>,
+    update_rng: Lfsr32Batched<2>,
+    behavior: FastPolicy,
+    update: FastPolicy,
+    forward_action: bool,
+    /// Lane of the reward word inside a transition-image entry.
+    rew_lane: u32,
+    /// In-flight operands of the next sample (valid while
+    /// `done < budget`; primed once before the rounds loop).
+    front: Front<V>,
+    forwards: u64,
+    last_update_read_q: bool,
+    done: u64,
+    budget: u64,
+}
+
+impl<'a, V: QValue, E: Environment> Stream<'a, V, E> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        leg: usize,
+        lane: FastLane<V>,
+        tr: Arc<Vec<u64>>,
+        env: &'a E,
+        behavior: FastPolicy,
+        update: FastPolicy,
+        forward_action: bool,
+        budget: u64,
+    ) -> Self {
+        let behavior_rng = Lfsr32Batched::<2>::new(&lane.behavior_rng);
+        let update_rng = Lfsr32Batched::<2>::new(&lane.update_rng);
+        let mut st = Self {
+            leg,
+            lane,
+            tr,
+            env,
+            behavior_rng,
+            update_rng,
+            behavior,
+            update,
+            forward_action,
+            rew_lane: lanes::lanes_per_u64::<V>() / 2,
+            front: Front {
+                s: 0,
+                a: 0,
+                qaddr: 0,
+                packed: 0,
+                s_next: 0,
+                q_sa: V::zero(),
+                reward: V::zero(),
+                a_next: 0,
+                q_next: V::zero(),
+                read_q: false,
+            },
+            forwards: 0,
+            last_update_read_q: false,
+            done: 0,
+            budget,
+        };
+        // Prime the first sample's operands (budget ≥ 1 by construction).
+        st.advance_front();
+        st
+    }
+
+    /// Stages 1–2 of the **next** sample — the fused executor's
+    /// selection and load front end, run at the end of the previous
+    /// step. Bit-exactness holds because nothing executes between one
+    /// sample's stage-4 commit and the next sample's stage-1/2 reads:
+    /// the address windows have already rotated, the Q/Qmax writes have
+    /// already committed, the transition image is immutable during a
+    /// run, and each policy draws from its own LFSR register so draw
+    /// order per register is unchanged. Must only run when another
+    /// sample is owed (`done < budget`), so RNG registers and the start
+    /// draw never run ahead of the serial machine.
+    #[inline(always)]
+    fn advance_front(&mut self) {
+        let lane = &mut self.lane;
+        let na = lane.num_actions;
+
+        // Stage 1: state + behaviour action.
+        let (s, carried_a) = match lane.carry.take() {
+            None => (self.env.random_start(&mut lane.start_rng), None),
+            Some((s, a)) => (s, a),
+        };
+        let a = match carried_a {
+            Some(a) => a,
+            None => match self.behavior {
+                FastPolicy::Random => {
+                    ((self.behavior_rng.next_u32() as u64 * na as u64) >> 32) as u32
+                }
+                FastPolicy::Greedy => {
+                    self.forwards += u64::from(lane.mw_addr[0] == s as usize);
+                    lane.qmax[s as usize].1
+                }
+                FastPolicy::Eps(thr) => {
+                    let x = self.behavior_rng.next_u32();
+                    if x < thr {
+                        ((x as u64 * na as u64) / thr as u64) as u32
+                    } else {
+                        self.forwards += u64::from(lane.mw_addr[0] == s as usize);
+                        lane.qmax[s as usize].1
+                    }
+                }
+            },
+        };
+        let qaddr = s as usize * na + a as usize;
+        let word = self.tr[qaddr];
+        let packed = word as u32;
+        let s_next = packed & !TERMINAL_BIT;
+        let q_sa = lane.q[qaddr];
+        let reward: V = lanes::extract_lane(word, self.rew_lane);
+        self.forwards += u64::from(
+            qaddr == lane.qw_addr[0] || qaddr == lane.qw_addr[1] || qaddr == lane.qw_addr[2],
+        );
+
+        // Stage 2: update selection one cycle later — only the two
+        // youngest Q writes are still in flight.
+        let (a_next, q_next, read_q) = match self.update {
+            FastPolicy::Greedy => {
+                self.forwards += u64::from(lane.mw_addr[0] == s_next as usize);
+                let (v, an) = lane.qmax[s_next as usize];
+                (an, v, false)
+            }
+            FastPolicy::Random => {
+                let an = ((self.update_rng.next_u32() as u64 * na as u64) >> 32) as u32;
+                let addr = sa_index(s_next, an, na);
+                self.forwards +=
+                    u64::from(addr == lane.qw_addr[0] || addr == lane.qw_addr[1]);
+                (an, lane.q[addr], true)
+            }
+            FastPolicy::Eps(thr) => {
+                let x = self.update_rng.next_u32();
+                if x < thr {
+                    let an = ((x as u64 * na as u64) / thr as u64) as u32;
+                    let addr = sa_index(s_next, an, na);
+                    self.forwards +=
+                        u64::from(addr == lane.qw_addr[0] || addr == lane.qw_addr[1]);
+                    (an, lane.q[addr], true)
+                } else {
+                    self.forwards += u64::from(lane.mw_addr[0] == s_next as usize);
+                    let (v, an) = lane.qmax[s_next as usize];
+                    (an, v, false)
+                }
+            }
+        };
+        self.front = Front {
+            s,
+            a,
+            qaddr,
+            packed,
+            s_next,
+            q_sa,
+            reward,
+            a_next,
+            q_next,
+            read_q,
+        };
+    }
+
+    /// One sample — commit the in-flight front (the fused executor's
+    /// stages 3–4: Eq. (3), writeback, Qmax RMW, window aging, carry),
+    /// then pipeline the next sample's front end so its loads issue a
+    /// full round before their use.
+    #[inline(always)]
+    fn step(&mut self) {
+        let f = self.front;
+        let lane = &mut self.lane;
+
+        // Stage 3: Eq. (3).
+        let q_new = lane
+            .one_minus_alpha
+            .mul(f.q_sa)
+            .add(lane.alpha_v.mul(f.reward))
+            .add(lane.alpha_gamma.mul(f.q_next));
+
+        // Stage 4: writeback + Qmax RMW, then age the address windows.
+        lane.q[f.qaddr] = q_new;
+        lane.qw_addr[2] = lane.qw_addr[1];
+        lane.qw_addr[1] = lane.qw_addr[0];
+        lane.qw_addr[0] = f.qaddr;
+
+        lane.mw_addr[2] = lane.mw_addr[1];
+        lane.mw_addr[1] = lane.mw_addr[0];
+        if q_new.vcmp(lane.qmax[f.s as usize].0) == core::cmp::Ordering::Greater {
+            lane.qmax[f.s as usize] = (q_new, f.a);
+            lane.mw_addr[0] = f.s as usize;
+        } else {
+            lane.mw_addr[0] = NO_ADDR;
+        }
+
+        lane.carry = if f.packed & TERMINAL_BIT != 0 {
+            None
+        } else {
+            Some((
+                f.s_next,
+                if self.forward_action {
+                    Some(f.a_next)
+                } else {
+                    None
+                },
+            ))
+        };
+        self.last_update_read_q = f.read_q;
+        self.done += 1;
+        if self.done < self.budget {
+            self.advance_front();
+        }
+    }
+}
+
+/// Run a group of pipelines' sample budgets with their streams
+/// interleaved: each round advances every active stream by one sample,
+/// so the streams' table loads overlap instead of serializing. Streams
+/// with exhausted budgets retire; the survivors keep interleaving (a
+/// group degrades gracefully to the single-stream loop). Per pipeline,
+/// results are bit-identical to running its budget through any other
+/// executor. Legs whose pipeline is ineligible for the interleaved path
+/// (see [`AccelPipeline::interleave_eligible`]) run their budget
+/// through the general fast-path executor instead — same contract, no
+/// error.
+pub(crate) fn run_interleaved_group<V, S, E>(legs: &mut [(&mut AccelPipeline<V, S>, &E, u64)])
+where
+    V: QValue,
+    S: TraceSink,
+    E: Environment,
+{
+    let mut active: Vec<Stream<'_, V, E>> = Vec::with_capacity(legs.len());
+    let mut shared_tr: Option<Arc<Vec<u64>>> = None;
+    for (i, (pipe, env, n)) in legs.iter_mut().enumerate() {
+        if *n == 0 {
+            continue;
+        }
+        if !pipe.interleave_eligible(*n) {
+            // Eligibility ladder: yield to the general executor
+            // (bit-identical results; handles counters, events, faults
+            // and every hazard/Qmax mode).
+            pipe.run_samples_fast_planned(*env, *n, FastLayout::StateMajor);
+            continue;
+        }
+        let behavior = resolve(pipe.config().trainer.behavior, "behaviour");
+        let update = resolve(pipe.config().trainer.update, "update");
+        let forward_action = pipe.config().trainer.forward_next_action;
+        let tr = pipe.ensure_tr_image(*env);
+        let tr = match &shared_tr {
+            // Streams over the same environment share one image.
+            Some(s) => pipe.share_tr_image(s),
+            None => {
+                shared_tr = Some(tr.clone());
+                tr
+            }
+        };
+        let lane = pipe.interleave_checkout();
+        active.push(Stream::new(
+            i,
+            lane,
+            tr,
+            *env,
+            behavior,
+            update,
+            forward_action,
+            *n,
+        ));
+    }
+
+    let mut finished: Vec<Stream<'_, V, E>> = Vec::with_capacity(active.len());
+    while !active.is_empty() {
+        // The streams stay in lockstep until the smallest remaining
+        // budget drains; then the exhausted streams retire and the
+        // survivors re-enter at the new (smaller) width.
+        let rounds = active
+            .iter()
+            .map(|st| st.budget - st.done)
+            .min()
+            .expect("non-empty");
+        for _ in 0..rounds {
+            for st in active.iter_mut() {
+                st.step();
+            }
+        }
+        let mut i = 0;
+        while i < active.len() {
+            if active[i].done == active[i].budget {
+                finished.push(active.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    for st in finished {
+        let Stream {
+            leg,
+            mut lane,
+            behavior_rng,
+            update_rng,
+            forwards,
+            last_update_read_q,
+            done,
+            ..
+        } = st;
+        // Collapse the batched RNG views back into the serial registers.
+        lane.behavior_rng = behavior_rng.into_lfsr();
+        lane.update_rng = update_rng.into_lfsr();
+        legs[leg].0.interleave_checkin(lane, done, forwards, last_update_read_q);
+    }
+}
+
+/// Single-pipeline entry point for the `FastLayout::Interleaved`
+/// dispatch in [`AccelPipeline::run_samples_fast_planned`]: a group of
+/// one stream. The caller has already established eligibility.
+pub(crate) fn run_single<V, S, E>(
+    pipe: &mut AccelPipeline<V, S>,
+    env: &E,
+    n: u64,
+) -> CycleStats
+where
+    V: QValue,
+    S: TraceSink,
+    E: Environment,
+{
+    debug_assert!(pipe.interleave_eligible(n));
+    {
+        let mut legs = [(&mut *pipe, env, n)];
+        run_interleaved_group(&mut legs);
+    }
+    pipe.stats()
+}

@@ -22,6 +22,13 @@
 //!   state-sharing pipelines over dual-port BRAM with write-collision
 //!   arbitration (Fig. 8) and N independent pipelines over partitioned
 //!   state spaces (Fig. 9).
+//! * `interleave` (crate-internal) — the K-way interleaved multi-stream fast path
+//!   (DESIGN.md §2.12): several pipelines' sample streams advanced one
+//!   step per round in one loop, so their Q-row loads overlap as
+//!   independent dependency chains; packed transition/reward words and
+//!   batched LFSR leaps supply the data-level parallelism. Reached via
+//!   [`FastLayout::Interleaved`] and
+//!   `IndependentPipelines::train_batch_with`.
 //! * [`executor`] — the host-side scale-out layer: a persistent
 //!   [`ShardedExecutor`] worker pool with a chunked work queue that runs
 //!   the `multi` configurations on however many cores the host offers
@@ -63,6 +70,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod executor;
 pub mod fault;
+pub(crate) mod interleave;
 pub mod multi;
 pub mod pipeline;
 pub mod prob_engine;

@@ -481,6 +481,11 @@ pub struct ShardRun {
     pub chunk: u64,
     /// Q-table traversal layout the cache-blocking pick selected.
     pub layout: FastLayout,
+    /// Streams interleaved in this shard's executor loop (1 for the
+    /// scalar layouts; K for [`FastLayout::Interleaved`] groups, where
+    /// one shard drives K pipelines — see
+    /// [`train_batch_with`](IndependentPipelines::train_batch_with)).
+    pub streams: usize,
 }
 
 /// What a [`train_batch`] call did: merged cycle counters plus the
@@ -762,6 +767,7 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
                 samples,
                 chunk: chunk_samples(samples, pipe.num_states(), pipe.num_actions()),
                 layout,
+                streams: 1,
             });
             budgets.push(samples);
         }
@@ -775,6 +781,136 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             shards,
             dropped_iterations: self.dropped_iterations(),
         }
+    }
+
+    /// [`train_batch`](Self::train_batch) with an explicit Q-table
+    /// traversal layout and stream width: `layout` forces every shard's
+    /// executor ([`FastLayout::Auto`] keeps the per-shard cache-blocking
+    /// heuristic), and under [`FastLayout::Interleaved`] the pipelines
+    /// are grouped `streams` at a time — each group becomes **one**
+    /// shard whose member sample streams advance interleaved in a
+    /// single executor loop (`crate::interleave`), overlapping their
+    /// Q-row loads. Ineligible pipelines inside a group (instrumented
+    /// sink, fault runtime, non-default hazard/Qmax config) yield to the
+    /// general executor, bit-identically.
+    ///
+    /// Results are bit-identical to [`train_batch`](Self::train_batch)
+    /// with the same total: the deterministic budget split is unchanged
+    /// and each pipeline's samples still execute strictly in order.
+    pub fn train_batch_with<E: Environment + Sync>(
+        &mut self,
+        envs: &[E],
+        total_samples: u64,
+        layout: FastLayout,
+        streams: usize,
+    ) -> BatchReport
+    where
+        S: Send,
+    {
+        assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
+        assert!(streams >= 1, "need at least one stream per group");
+        let p = self.pipes.len() as u64;
+        let (base, extra) = (total_samples / p, total_samples % p);
+        let mut shards = Vec::with_capacity(self.pipes.len());
+        let mut budgets = Vec::with_capacity(self.pipes.len());
+        for (i, pipe) in self.pipes.iter().enumerate() {
+            let samples = base + u64::from((i as u64) < extra);
+            let lay = match layout {
+                FastLayout::Auto => {
+                    if pipe.fast_slab_bytes() <= CACHE_BLOCK_BYTES {
+                        FastLayout::ActionMajor
+                    } else {
+                        FastLayout::StateMajor
+                    }
+                }
+                forced => forced,
+            };
+            shards.push(ShardRun {
+                pipeline: i,
+                samples,
+                chunk: chunk_samples(samples, pipe.num_states(), pipe.num_actions()),
+                layout: lay,
+                streams: if lay == FastLayout::Interleaved {
+                    streams
+                } else {
+                    1
+                },
+            });
+            budgets.push(samples);
+        }
+        let stats = if layout == FastLayout::Interleaved {
+            self.drive_interleaved_groups(envs, &budgets, streams)
+        } else {
+            let plan = &shards;
+            self.drive(envs, &budgets, |i, pipe, env, n| {
+                pipe.run_samples_fast_planned(env, n, plan[i].layout);
+            })
+        };
+        BatchReport {
+            stats,
+            workers: self.workers(),
+            shards,
+            dropped_iterations: self.dropped_iterations(),
+        }
+    }
+
+    /// Group the pipelines `streams` at a time and submit one shard per
+    /// group: each call advances every member by up to its deterministic
+    /// chunk through the interleaved executor, so the pool's work queue
+    /// can still interleave G ≫ C groups. Per-pipeline sample order is
+    /// strictly sequential (the group loop round-robins *within* a
+    /// chunk), so results stay bit-identical at any worker count.
+    fn drive_interleaved_groups<E>(
+        &mut self,
+        envs: &[E],
+        budgets: &[u64],
+        streams: usize,
+    ) -> CycleStats
+    where
+        E: Environment + Sync,
+        S: Send,
+    {
+        if budgets.iter().all(|&b| b == 0) {
+            return self.stats();
+        }
+        let owned = self.executor.clone();
+        let pool: &ShardedExecutor = match owned.as_deref() {
+            Some(pool) => pool,
+            None => ShardedExecutor::global(),
+        };
+        let shards: Vec<ShardJob<'_>> = self
+            .pipes
+            .chunks_mut(streams)
+            .zip(envs.chunks(streams))
+            .zip(budgets.chunks(streams))
+            .filter(|(_, gbudgets)| gbudgets.iter().any(|&b| b > 0))
+            .map(|((pipes, genvs), gbudgets)| {
+                let chunks: Vec<u64> = pipes
+                    .iter()
+                    .zip(gbudgets)
+                    .map(|(pipe, &b)| chunk_samples(b, pipe.num_states(), pipe.num_actions()))
+                    .collect();
+                let mut left: Vec<u64> = gbudgets.to_vec();
+                Box::new(move || {
+                    let mut legs: Vec<(&mut AccelPipeline<V, S>, &E, u64)> =
+                        Vec::with_capacity(pipes.len());
+                    for (((pipe, env), l), &chunk) in pipes
+                        .iter_mut()
+                        .zip(genvs)
+                        .zip(left.iter_mut())
+                        .zip(&chunks)
+                    {
+                        let take = chunk.min(*l);
+                        *l -= take;
+                        legs.push((pipe, env, take));
+                    }
+                    crate::interleave::run_interleaved_group(&mut legs);
+                    left.iter().any(|&l| l > 0)
+                }) as ShardJob<'_>
+            })
+            .collect();
+        pool.run_shards(shards);
+        self.stats()
     }
 
     /// [`train_batch`](Self::train_batch) with crash-safe durability:
@@ -832,6 +968,7 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
                 samples,
                 chunk: chunk_samples(samples, pipe.num_states(), pipe.num_actions()),
                 layout,
+                streams: 1,
             });
             budgets.push(samples);
         }

@@ -248,8 +248,14 @@ struct FastCell<V> {
     q: V,
 }
 
-/// Terminal-state flag in [`FastCell::next_packed`].
-const TERMINAL_BIT: u32 = 1 << 31;
+/// Terminal-state flag in [`FastCell::next_packed`] (and in the low word
+/// of the interleaved executor's packed transition image — see
+/// `crate::interleave`).
+pub(crate) const TERMINAL_BIT: u32 = 1 << 31;
+
+/// Invalid window-register address: no real write can carry it (the
+/// fused and interleaved executors track only 3-slot address windows).
+pub(crate) const NO_ADDR: usize = usize::MAX;
 
 /// Q-table traversal layout for the fast-path executor — the
 /// cache-blocking knob batch training tunes per shard.
@@ -271,6 +277,13 @@ const TERMINAL_BIT: u32 = 1 << 31;
 /// * [`Auto`](Self::Auto) — the historical heuristic: divert to the
 ///   fused slab when the configuration allows it and the run is long
 ///   enough to amortize the image build.
+/// * [`Interleaved`](Self::Interleaved) — the K-way multi-stream
+///   executor (`crate::interleave`, DESIGN.md §2.12): single-pipeline
+///   runs step one stream through it; `IndependentPipelines::
+///   train_batch_with` interleaves several pipelines' sample streams in
+///   one loop so their Q-row loads overlap. Eligibility mirrors the
+///   fused slab plus a ≤32-bit storage width (the packed transition
+///   image carries the reward in the upper lanes of a `u64` word).
 ///
 /// `bench_scaling` measures the crossover; `IndependentPipelines::
 /// train_batch` picks a layout per shard from its table footprint.
@@ -282,6 +295,39 @@ pub enum FastLayout {
     ActionMajor,
     /// Force the general separate-column executor.
     StateMajor,
+    /// Force the K-way interleaved multi-stream executor whenever the
+    /// config is eligible (falls back to the general executor, like a
+    /// forced `ActionMajor`, when it is not).
+    Interleaved,
+}
+
+/// A pipeline's architectural state checked out to the interleaved
+/// multi-stream executor (`crate::interleave`) for the duration of one
+/// group run, and checked back in at exit.
+///
+/// The Q and Qmax tables are *moved* out (the interleaved loop writes
+/// them directly under immediate-commit semantics — no column resync at
+/// entry or exit, unlike the fused slab), the RNG registers are copied,
+/// and the 3-slot forwarding address windows carry the in-flight write
+/// history exactly as `run_fast_forwarding_qmax` tracks it. The loop
+/// constants (`num_actions`, stage-1 derived multiplier values) ride
+/// along so the executor never needs the pipeline reference mid-run.
+pub(crate) struct FastLane<V> {
+    pub(crate) q: Vec<V>,
+    pub(crate) qmax: Vec<(V, Action)>,
+    pub(crate) start_rng: Lfsr32,
+    pub(crate) behavior_rng: Lfsr32,
+    pub(crate) update_rng: Lfsr32,
+    pub(crate) carry: Option<(State, Option<Action>)>,
+    /// Addresses of the 3 youngest in-flight Q writes ([0] = newest).
+    pub(crate) qw_addr: [usize; 3],
+    /// Addresses of the 3 youngest in-flight Qmax writes.
+    pub(crate) mw_addr: [usize; 3],
+    pub(crate) entry_c1: u64,
+    pub(crate) num_actions: usize,
+    pub(crate) one_minus_alpha: V,
+    pub(crate) alpha_v: V,
+    pub(crate) alpha_gamma: V,
 }
 
 /// The pipeline core shared by the Q-Learning and SARSA engines (and, in
@@ -314,6 +360,12 @@ pub struct AccelPipeline<V, S: TraceSink = NullSink> {
     // Fused (transition, reward, Q) image for the window-register
     // executor, built once on first use (see `run_fast_forwarding_qmax`).
     fast_image: Option<Vec<FastCell<V>>>,
+    // Packed (transition, reward) words for the interleaved multi-stream
+    // executor, built once on first use and shared (`Arc`) across the
+    // streams of a group when their environments coincide (see
+    // `crate::interleave`). Like `fast_image`, a derived cache of
+    // immutable environment data — never checkpointed.
+    tr_image: Option<std::sync::Arc<Vec<u64>>>,
     // In-flight writes (queues are the source of truth; the indices are
     // O(1) newest-writer accelerators kept in sync on push/retire).
     pending_q: VecDeque<Pending<V>>,
@@ -402,6 +454,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             qmax_mem,
             rewards: RewardTable::from_env(env),
             fast_image: None,
+            tr_image: None,
             pending_q: VecDeque::new(),
             pending_qmax: VecDeque::new(),
             fwd_q: FwdIndex::new(),
@@ -1258,7 +1311,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             && self.num_states < (1usize << 31);
         let take_fused = match layout {
             FastLayout::ActionMajor => fused_eligible,
-            FastLayout::StateMajor => false,
+            FastLayout::StateMajor | FastLayout::Interleaved => false,
             FastLayout::Auto => {
                 fused_eligible
                     && (self.fast_image.is_some()
@@ -1267,6 +1320,13 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         };
         if take_fused {
             return self.run_fast_forwarding_qmax(env, n);
+        }
+        // A forced Interleaved layout runs the K-way executor as a group
+        // of one stream (the multi-pipeline grouping lives in
+        // `IndependentPipelines::train_batch_with`); ineligible configs
+        // fall through to the general executor below, bit-identically.
+        if layout == FastLayout::Interleaved && self.interleave_eligible(n) {
+            return crate::interleave::run_single(self, env, n);
         }
 
         let immediate = self.config.hazard != HazardMode::Ignore;
@@ -1487,7 +1547,6 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         // commit, `q_table`) observes the newest write per address — so
         // the exit protocol can recover each window value from the
         // committed image instead of rotating values through the loop.
-        const NO_ADDR: usize = usize::MAX;
         let mut qw_addr = [NO_ADDR; 3]; // [0] = previous iteration
         while let Some(p) = self.pending_q.pop_front() {
             self.q_mem[p.addr] = p.value;
@@ -1694,6 +1753,171 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             }
         }
         self.stats
+    }
+
+    /// Whether a run of `n` samples may take the interleaved
+    /// multi-stream executor: the fused-slab predicate (uninstrumented,
+    /// fault-free, forwarding hazards, Qmax-array maxima) plus a ≤32-bit
+    /// storage width, because the packed transition image carries the
+    /// reward word in the upper lanes of each 64-bit entry.
+    pub(crate) fn interleave_eligible(&self, n: u64) -> bool {
+        n > 0
+            && !S::COUNTERS
+            && !S::EVENTS
+            && self.fault.is_none()
+            && self.config.hazard == HazardMode::Forwarding
+            && self.config.trainer.max_mode == MaxMode::QmaxArray
+            && self.num_states < (1usize << 31)
+            && V::storage_bits() <= 32
+    }
+
+    /// Packed `(transition, reward)` image for the interleaved executor:
+    /// word `s·|A| + a` holds the fused-style `next_packed` (next state
+    /// | [`TERMINAL_BIT`]) in the low 32 bits and the reward's storage
+    /// word in the lane starting at bit 32, so one 64-bit load serves
+    /// both stage-1 reads. Built on first use and cached, like
+    /// `fast_image`; the `Arc` lets a stream group share one copy (see
+    /// [`share_tr_image`](Self::share_tr_image)).
+    pub(crate) fn ensure_tr_image<E: Environment>(
+        &mut self,
+        env: &E,
+    ) -> std::sync::Arc<Vec<u64>> {
+        if self.tr_image.is_none() {
+            let na = self.num_actions;
+            let rew_lane = qtaccel_fixed::lanes::lanes_per_u64::<V>() / 2;
+            let mut words = Vec::with_capacity(self.num_states * na);
+            for s in 0..self.num_states as State {
+                for a in 0..na as Action {
+                    let t = env.transition(s, a);
+                    let packed = t | if env.is_terminal(t) { TERMINAL_BIT } else { 0 };
+                    words.push(qtaccel_fixed::lanes::insert_lane(
+                        packed as u64,
+                        rew_lane,
+                        self.rewards.get(s, a),
+                    ));
+                }
+            }
+            self.tr_image = Some(std::sync::Arc::new(words));
+        }
+        self.tr_image.clone().expect("image just ensured")
+    }
+
+    /// Deduplicate this pipeline's cached transition image against a
+    /// group leader's: if the contents coincide (same environment, same
+    /// rewards), drop the private copy and adopt the shared `Arc`, so a
+    /// K-stream group touches one image instead of K. Returns the image
+    /// this pipeline should stream from. The content compare runs once —
+    /// after adoption, `Arc::ptr_eq` short-circuits every later call.
+    pub(crate) fn share_tr_image(
+        &mut self,
+        shared: &std::sync::Arc<Vec<u64>>,
+    ) -> std::sync::Arc<Vec<u64>> {
+        let mine = self.tr_image.as_ref().expect("ensure_tr_image first");
+        if !std::sync::Arc::ptr_eq(mine, shared) && **mine == **shared {
+            self.tr_image = Some(shared.clone());
+        }
+        self.tr_image.clone().expect("image present")
+    }
+
+    /// Entry protocol of the interleaved executor: commit every pending
+    /// write, capture the forwarding window addresses, and move the
+    /// architectural state out into a [`FastLane`]. Identical to
+    /// [`run_fast_forwarding_qmax`]'s entry (same immediate-commit
+    /// semantics, same stall-free write bound), except the Q table
+    /// itself travels — there is no slab column to resync.
+    ///
+    /// [`run_fast_forwarding_qmax`]: Self::run_fast_forwarding_qmax
+    pub(crate) fn interleave_checkout(&mut self) -> FastLane<V> {
+        let entry_c1 = self.next_c1;
+        let mut qw_addr = [NO_ADDR; 3]; // [0] = previous iteration
+        while let Some(p) = self.pending_q.pop_front() {
+            self.q_mem[p.addr] = p.value;
+            debug_assert!(p.commit_cycle <= entry_c1 + 2, "stall-free write bound");
+            if p.commit_cycle >= entry_c1 {
+                let slot = (entry_c1 + 2 - p.commit_cycle) as usize;
+                qw_addr[slot] = p.addr;
+            }
+        }
+        let mut mw_addr = [NO_ADDR; 3];
+        while let Some(p) = self.pending_qmax.pop_front() {
+            self.qmax_mem[p.addr] = p.value;
+            debug_assert!(p.commit_cycle <= entry_c1 + 2, "stall-free write bound");
+            if p.commit_cycle >= entry_c1 {
+                let slot = (entry_c1 + 2 - p.commit_cycle) as usize;
+                mw_addr[slot] = p.addr;
+            }
+        }
+        self.fwd_q.clear();
+        self.fwd_qmax.clear();
+        FastLane {
+            q: core::mem::take(&mut self.q_mem),
+            qmax: core::mem::take(&mut self.qmax_mem),
+            start_rng: self.start_rng.clone(),
+            behavior_rng: self.behavior_rng.clone(),
+            update_rng: self.update_rng.clone(),
+            carry: self.carry.take(),
+            qw_addr,
+            mw_addr,
+            entry_c1,
+            num_actions: self.num_actions,
+            one_minus_alpha: self.one_minus_alpha,
+            alpha_v: self.alpha_v,
+            alpha_gamma: self.alpha_gamma,
+        }
+    }
+
+    /// Exit protocol of the interleaved executor: move the tables back,
+    /// apply the closed-form cycle accounting, and reconstruct the
+    /// pending queues from the forwarding windows — line for line the
+    /// exit of [`run_fast_forwarding_qmax`], so a subsequent
+    /// cycle-accurate run (or any other executor) observes identical
+    /// state. `n` must be the lane's retired sample count (> 0).
+    ///
+    /// [`run_fast_forwarding_qmax`]: Self::run_fast_forwarding_qmax
+    pub(crate) fn interleave_checkin(
+        &mut self,
+        lane: FastLane<V>,
+        n: u64,
+        forwards: u64,
+        last_update_read_q: bool,
+    ) {
+        debug_assert!(n > 0, "zero-sample lanes must never be checked out");
+        self.q_mem = lane.q;
+        self.qmax_mem = lane.qmax;
+        self.start_rng = lane.start_rng;
+        self.behavior_rng = lane.behavior_rng;
+        self.update_rng = lane.update_rng;
+        self.carry = lane.carry;
+        let end_c1 = lane.entry_c1 + n;
+        self.next_c1 = end_c1;
+        self.stats.samples += n;
+        self.stats.forwards += forwards;
+        self.stats.cycles = end_c1 - 1 + WRITE_OFFSET + 1;
+        self.drain_horizon_q = end_c1 - 1 + u64::from(last_update_read_q);
+        self.drain_horizon_qmax = end_c1 - 1 + WRITE_OFFSET;
+        // Window values are recovered from the committed tables (same
+        // argument as the fused exit: forwarding and `q_table` only ever
+        // observe the newest writer per address).
+        for slot in (0..3).rev() {
+            if lane.qw_addr[slot] != NO_ADDR {
+                let p = Pending {
+                    commit_cycle: end_c1 + 2 - slot as u64,
+                    addr: lane.qw_addr[slot],
+                    value: self.q_mem[lane.qw_addr[slot]],
+                };
+                self.pending_q.push_back(p);
+                self.fwd_q.push(p);
+            }
+            if lane.mw_addr[slot] != NO_ADDR {
+                let p = Pending {
+                    commit_cycle: end_c1 + 2 - slot as u64,
+                    addr: lane.mw_addr[slot],
+                    value: self.qmax_mem[lane.mw_addr[slot]],
+                };
+                self.pending_qmax.push_back(p);
+                self.fwd_qmax.push(p);
+            }
+        }
     }
 
     /// Inject a single-event upset: flip `bit` of the *committed* Q BRAM

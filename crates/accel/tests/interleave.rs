@@ -1,0 +1,342 @@
+//! Bit-exactness of the K-way interleaved multi-stream executor
+//! (`FastLayout::Interleaved`, DESIGN.md §2.12) against the
+//! cycle-accurate engine and the scalar fast paths: same Q-tables, same
+//! Qmax tables, same CycleStats — across both algorithms, every hazard
+//! mode, K ∈ {2, 4, 8}, uneven budgets, chunked executor re-entry, and
+//! every rung of the eligibility ladder (fault runtime, instrumented
+//! sink, exact-scan Qmax, wide value types fall back to the general
+//! executor bit-identically).
+
+use qtaccel_accel::config::{AccelConfig, HazardMode};
+use qtaccel_accel::multi::IndependentPipelines;
+use qtaccel_accel::pipeline::{AccelPipeline, FastLayout};
+use qtaccel_accel::qlearning::QLearningAccel;
+use qtaccel_accel::sarsa::SarsaAccel;
+use qtaccel_accel::{FaultConfig, ShardedExecutor};
+use qtaccel_core::policy::Policy;
+use qtaccel_core::qtable::MaxMode;
+use qtaccel_core::trainer::TrainerConfig;
+use qtaccel_envs::{ActionSet, GridWorld};
+use qtaccel_fixed::{Q16_16, Q8_8};
+use qtaccel_hdl::lfsr::Lfsr32;
+use qtaccel_hdl::rng::RngSource;
+use qtaccel_telemetry::CountersOnly;
+use std::sync::Arc;
+
+const HAZARDS: [HazardMode; 3] = [
+    HazardMode::Forwarding,
+    HazardMode::StallOnly,
+    HazardMode::Ignore,
+];
+
+const STREAM_WIDTHS: [usize; 3] = [2, 4, 8];
+
+/// A grid whose shape is derived from the seed: 2..=9 cells per side,
+/// four- or eight-action set, goal in the far corner.
+fn random_grid(rng: &mut Lfsr32) -> GridWorld {
+    let w = 2 + rng.below(8);
+    let h = 2 + rng.below(8);
+    let actions = if rng.below(2) == 0 {
+        ActionSet::Four
+    } else {
+        ActionSet::Eight
+    };
+    GridWorld::builder(w, h)
+        .goal(w - 1, h - 1)
+        .actions(actions)
+        .build()
+}
+
+/// K grids of *different* shapes, so the interleaved group mixes state
+/// spaces and action-set widths.
+fn grid_group(seed: u32, k: usize) -> Vec<GridWorld> {
+    let mut rng = Lfsr32::new(seed.wrapping_mul(0x9E37_79B9) | 1);
+    (0..k).map(|_| random_grid(&mut rng)).collect()
+}
+
+fn assert_banks_identical<V: qtaccel_fixed::QValue>(
+    a: &IndependentPipelines<V>,
+    b: &IndependentPipelines<V>,
+    label: &str,
+) {
+    assert_eq!(a.stats(), b.stats(), "{label}: merged CycleStats diverged");
+    for i in 0..a.len() {
+        assert_eq!(
+            a.q_table(i).as_slice(),
+            b.q_table(i).as_slice(),
+            "{label}: bank {i} Q-table diverged"
+        );
+        let (qm_a, qm_b) = (a.qmax_table(i), b.qmax_table(i));
+        for st in 0..qm_a.len() as qtaccel_envs::State {
+            assert_eq!(
+                qm_a.get(st),
+                qm_b.get(st),
+                "{label}: bank {i} Qmax diverged at state {st}"
+            );
+        }
+    }
+}
+
+#[test]
+fn interleaved_matches_cycle_accurate_q_learning_all_k_all_hazards() {
+    // The tentpole contract: K interleaved streams produce, per
+    // pipeline, the exact bits of the cycle-accurate engine. Forwarding
+    // takes the interleaved executor; StallOnly/Ignore exercise the
+    // whole-group fallback to the general path.
+    for k in STREAM_WIDTHS {
+        for (si, seed) in [3u64, 29, 71].into_iter().enumerate() {
+            let envs = grid_group(seed as u32 + k as u32, k);
+            for hazard in HAZARDS {
+                let cfg = AccelConfig::default().with_seed(seed).with_hazard(hazard);
+                let per = 4_000u64;
+                let mut slow = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+                let mut fast = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+                slow.train_samples_sequential(&envs, per);
+                let report =
+                    fast.train_batch_with(&envs, per * k as u64, FastLayout::Interleaved, k);
+                assert!(
+                    report.shards.iter().all(|s| s.streams == k),
+                    "shard manifest must record the stream width"
+                );
+                assert_banks_identical(
+                    &slow,
+                    &fast,
+                    &format!("q-learning K={k} seed#{si} {hazard:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_matches_cycle_accurate_sarsa_all_k_all_hazards() {
+    // SARSA adds the stage-2→stage-1 action forwarding (carry) and the
+    // ε-greedy draws on both policies — the RNG-heavy corner of the
+    // batched-LFSR resync protocol.
+    for k in STREAM_WIDTHS {
+        for seed in [11u64, 47] {
+            let envs = grid_group(seed as u32 ^ (k as u32) << 8, k);
+            let eps = 0.05 + (seed % 5) as f64 * 0.1;
+            for hazard in HAZARDS {
+                let mut cfg = AccelConfig::default().with_seed(seed).with_hazard(hazard);
+                cfg.trainer = TrainerConfig::sarsa(eps).with_seed(seed);
+                let per = 4_000u64;
+                let mut slow = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+                let mut fast = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+                slow.train_samples_sequential(&envs, per);
+                fast.train_batch_with(&envs, per * k as u64, FastLayout::Interleaved, k);
+                assert_banks_identical(&slow, &fast, &format!("sarsa K={k} {hazard:?}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_single_pipeline_policy_matrix() {
+    // A forced Interleaved layout on one pipeline runs the K-way
+    // executor as a group of one stream. Every synthesizable policy
+    // pairing, both Qmax semantics (ExactScan is ineligible and must
+    // fall back), Q16_16 lanes (2 subwords per u64).
+    let policies: [(Policy, Policy, bool); 4] = [
+        (Policy::Random, Policy::Greedy, false),
+        (Policy::Greedy, Policy::Greedy, false),
+        (
+            Policy::EpsilonGreedy { epsilon: 0.3 },
+            Policy::Random,
+            false,
+        ),
+        (
+            Policy::EpsilonGreedy { epsilon: 0.15 },
+            Policy::EpsilonGreedy { epsilon: 0.15 },
+            true,
+        ),
+    ];
+    for seed in [19u64, 31] {
+        let mut shape_rng = Lfsr32::new((seed as u32).wrapping_mul(2_654_435_761) | 1);
+        let g = random_grid(&mut shape_rng);
+        for max_mode in [MaxMode::QmaxArray, MaxMode::ExactScan] {
+            for (behavior, update, fwd_next) in policies {
+                let mut cfg = AccelConfig::default()
+                    .with_seed(seed)
+                    .with_max_mode(max_mode);
+                cfg.trainer.behavior = behavior;
+                cfg.trainer.update = update;
+                cfg.trainer.forward_next_action = fwd_next;
+                let mut slow = AccelPipeline::<Q16_16>::new(&g, cfg, 0);
+                let mut inter = AccelPipeline::<Q16_16>::new(&g, cfg, 0);
+                let ss = slow.run_samples(&g, 6_000);
+                let si = inter.run_samples_fast_planned(&g, 6_000, FastLayout::Interleaved);
+                let label = format!("seed {seed} {max_mode:?} {behavior:?}/{update:?}");
+                assert_eq!(ss, si, "{label}: CycleStats diverged");
+                assert_eq!(
+                    slow.q_table().as_slice(),
+                    inter.q_table().as_slice(),
+                    "{label}: Q-table diverged"
+                );
+                let (qm_s, qm_i) = (slow.qmax_table(), inter.qmax_table());
+                for st in 0..qm_s.len() as qtaccel_envs::State {
+                    assert_eq!(qm_s.get(st), qm_i.get(st), "{label}: Qmax diverged");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn interleaved_uneven_budgets_and_partial_groups() {
+    // total % P ≠ 0 (remainder samples land on the low banks) and
+    // P % K ≠ 0 (the last group is narrower than K): both must match
+    // train_batch's deterministic split bit-exactly.
+    let envs = grid_group(77, 5);
+    let cfg = AccelConfig::default().with_seed(505);
+    let total = 5 * 2_500 + 3;
+    let mut auto = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+    let mut inter = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+    auto.train_batch(&envs, total);
+    let report = inter.train_batch_with(&envs, total, FastLayout::Interleaved, 4);
+    assert_eq!(report.shards.len(), 5, "one manifest row per pipeline");
+    assert_banks_identical(&auto, &inter, "5 banks, K=4, uneven total");
+
+    // streams wider than the bank count: one group of everything.
+    let mut wide = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+    wide.train_batch_with(&envs, total, FastLayout::Interleaved, 16);
+    assert_banks_identical(&auto, &wide, "K wider than bank count");
+}
+
+#[test]
+fn interleaved_groups_chunk_reentry_on_executor() {
+    // Budgets far above the ~64K-sample chunk force each group shard to
+    // be re-entered many times through the worker pool; the
+    // checkout/checkin protocol must survive every boundary.
+    let envs = grid_group(909, 4);
+    let cfg = AccelConfig::default().with_seed(41);
+    let per = 150_000u64;
+    let mut reference = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+    reference.train_samples_fast_sequential(&envs, per);
+    let pool = Arc::new(ShardedExecutor::new(2));
+    let mut inter = IndependentPipelines::<Q8_8>::new(&envs, cfg).with_executor(pool);
+    inter.train_batch_with(&envs, per * 4, FastLayout::Interleaved, 2);
+    assert_banks_identical(&reference, &inter, "chunked re-entry, 2 workers");
+}
+
+#[test]
+fn interleaved_executor_interleaves_freely_with_cycle_accurate() {
+    // slow → interleaved → slow → interleaved on one instance must equal
+    // a pure cycle-accurate run: checkout/checkin preserve in-flight
+    // pipeline state (pending writes, RNG registers, SARSA carry).
+    let g = GridWorld::builder(3, 5).goal(2, 4).build();
+    for (label, cfg) in [
+        (
+            "q-learning",
+            AccelConfig::default().with_seed(97),
+        ),
+        ("sarsa", {
+            let mut c = AccelConfig::default().with_seed(97);
+            c.trainer = TrainerConfig::sarsa(0.2).with_seed(97);
+            c
+        }),
+    ] {
+        let mut pure = AccelPipeline::<Q8_8>::new(&g, cfg, 0);
+        let mut mixed = AccelPipeline::<Q8_8>::new(&g, cfg, 0);
+        let stats_pure = pure.run_samples(&g, 9_000);
+        mixed.run_samples(&g, 2_000);
+        mixed.run_samples_fast_planned(&g, 3_000, FastLayout::Interleaved);
+        mixed.run_samples(&g, 1_000);
+        let stats_mixed = mixed.run_samples_fast_planned(&g, 3_000, FastLayout::Interleaved);
+        assert_eq!(stats_pure, stats_mixed, "{label}: CycleStats diverged");
+        assert_eq!(
+            pure.q_table().as_slice(),
+            mixed.q_table().as_slice(),
+            "{label}: Q-table diverged"
+        );
+    }
+}
+
+#[test]
+fn fault_runtime_routes_to_general_path_bit_identically() {
+    // An attached fault runtime makes the config ineligible; a forced
+    // Interleaved layout must yield to the general executor and produce
+    // the exact bits of the scalar fast path with the same fault config
+    // (the fault RNG advances identically either way).
+    let g = GridWorld::builder(6, 6).goal(5, 5).build();
+    let cfg = AccelConfig::default().with_seed(1234);
+    let fc = FaultConfig::default().with_seu_rate(1e-3);
+    let mut scalar = QLearningAccel::<Q8_8>::new(&g, cfg);
+    let mut forced = QLearningAccel::<Q8_8>::new(&g, cfg);
+    scalar.enable_faults(fc);
+    forced.enable_faults(fc);
+    let ss = scalar.train_samples_fast_planned(&g, 10_000, FastLayout::StateMajor);
+    let sf = forced.train_samples_fast_planned(&g, 10_000, FastLayout::Interleaved);
+    assert_eq!(ss, sf, "fault fallback: CycleStats diverged");
+    assert_eq!(
+        scalar.q_table().as_slice(),
+        forced.q_table().as_slice(),
+        "fault fallback: Q-table diverged"
+    );
+    assert_eq!(
+        scalar.fault_stats(),
+        forced.fault_stats(),
+        "fault fallback: fault statistics diverged"
+    );
+}
+
+#[test]
+fn instrumented_sink_routes_to_general_path_bit_identically() {
+    // Counter-bearing sinks are ineligible (the interleaved executor is
+    // uninstrumented by design): the forced layout must mirror the
+    // general path's results *and* its perf counters.
+    let g = GridWorld::builder(7, 4).goal(6, 3).build();
+    let cfg = AccelConfig::default().with_seed(88);
+    let mut scalar = QLearningAccel::<Q8_8, CountersOnly>::with_sink(&g, cfg, CountersOnly);
+    let mut forced = QLearningAccel::<Q8_8, CountersOnly>::with_sink(&g, cfg, CountersOnly);
+    let ss = scalar.train_samples_fast_planned(&g, 8_000, FastLayout::StateMajor);
+    let sf = forced.train_samples_fast_planned(&g, 8_000, FastLayout::Interleaved);
+    assert_eq!(ss, sf, "sink fallback: CycleStats diverged");
+    assert_eq!(
+        scalar.q_table().as_slice(),
+        forced.q_table().as_slice(),
+        "sink fallback: Q-table diverged"
+    );
+    let (cs, cf): (Vec<_>, Vec<_>) = (
+        scalar.counters().iter().collect(),
+        forced.counters().iter().collect(),
+    );
+    assert_eq!(cs, cf, "sink fallback: counter banks diverged");
+}
+
+#[test]
+fn wide_value_types_fall_back_bit_identically() {
+    // f64 stores 64 bits per lane — no subword packing is possible, so
+    // the interleaved path is ineligible and must fall back.
+    let g = GridWorld::builder(5, 5).goal(4, 4).build();
+    let cfg = AccelConfig::default().with_seed(321);
+    let mut slow = AccelPipeline::<f64>::new(&g, cfg, 0);
+    let mut forced = AccelPipeline::<f64>::new(&g, cfg, 0);
+    let ss = slow.run_samples(&g, 5_000);
+    let sf = forced.run_samples_fast_planned(&g, 5_000, FastLayout::Interleaved);
+    assert_eq!(ss, sf, "f64 fallback: CycleStats diverged");
+    assert_eq!(
+        slow.q_table().as_slice(),
+        forced.q_table().as_slice(),
+        "f64 fallback: Q-table diverged"
+    );
+}
+
+#[test]
+fn interleaved_zero_and_tiny_budgets_are_exact() {
+    // n = 0 is inert; a total smaller than the group width leaves some
+    // legs with zero samples and must still match train_batch.
+    let g = GridWorld::builder(4, 4).goal(3, 3).build();
+    let mut a = SarsaAccel::<Q8_8>::new(&g, AccelConfig::default(), 0.1);
+    let before = a.train_samples(&g, 500);
+    let after = a.train_samples_fast_planned(&g, 0, FastLayout::Interleaved);
+    assert_eq!(before, after, "zero samples must be inert");
+
+    let envs = grid_group(13, 4);
+    let cfg = AccelConfig::default().with_seed(7);
+    let mut auto = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+    let mut inter = IndependentPipelines::<Q8_8>::new(&envs, cfg);
+    auto.train_batch(&envs, 3);
+    inter.train_batch_with(&envs, 3, FastLayout::Interleaved, 4);
+    assert_banks_identical(&auto, &inter, "total smaller than group width");
+}

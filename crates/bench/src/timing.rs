@@ -61,6 +61,42 @@ pub fn bench<F: FnMut()>(
     }
 }
 
+/// Measure the host's sustainable stream bandwidth in bytes/second with
+/// a STREAM-style triad (`a[i] = b[i] + 3·c[i]` over `f64` arrays):
+/// three arrays of `elements` doubles each — size them well past the
+/// last-level cache so the loop is memory-bound — moving 3×8 bytes per
+/// element (two loaded, one stored, ignoring write-allocate traffic, as
+/// STREAM does). Reports the **best** of `runs` passes: the roofline
+/// wants the machine's capability, not a load-dependent median.
+///
+/// This is the denominator of the `bench_throughput` roofline section
+/// (DESIGN.md §2.12): per-row achieved bytes/sec divided by this number
+/// gives percent-of-roof.
+pub fn stream_triad_bytes_per_sec(elements: usize, runs: usize) -> f64 {
+    assert!(runs > 0, "need at least one timed run");
+    assert!(elements > 0, "need a non-empty array");
+    let b = vec![1.0f64; elements];
+    let c = vec![2.0f64; elements];
+    let mut a = vec![0.0f64; elements];
+    const SCALAR: f64 = 3.0;
+    // One untimed pass to fault the pages in.
+    for ((ai, bi), ci) in a.iter_mut().zip(&b).zip(&c) {
+        *ai = *bi + SCALAR * *ci;
+    }
+    std::hint::black_box(&a);
+    let mut best = f64::INFINITY;
+    for _ in 0..runs {
+        let t = Instant::now();
+        for ((ai, bi), ci) in a.iter_mut().zip(&b).zip(&c) {
+            *ai = *bi + SCALAR * *ci;
+        }
+        std::hint::black_box(&a);
+        let dt = t.elapsed().as_secs_f64().max(1e-12);
+        best = best.min(dt);
+    }
+    (elements as f64 * 3.0 * 8.0) / best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +119,19 @@ mod tests {
     #[should_panic(expected = "at least one timed run")]
     fn zero_runs_rejected() {
         bench("x", 1, 0, || {});
+    }
+
+    #[test]
+    fn triad_reports_positive_finite_bandwidth() {
+        // Tiny arrays keep the unit test fast; the probe still has to
+        // report a physically plausible (positive, finite) rate.
+        let bw = stream_triad_bytes_per_sec(1 << 12, 2);
+        assert!(bw.is_finite() && bw > 0.0, "triad bandwidth {bw} not sane");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty array")]
+    fn triad_rejects_empty_arrays() {
+        stream_triad_bytes_per_sec(0, 1);
     }
 }

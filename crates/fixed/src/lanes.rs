@@ -1,0 +1,132 @@
+//! Sub-word lane packing: several narrow Q-values in one `u64`.
+//!
+//! The QTAccel datapath is narrow by design — Table I's formats are 16
+//! and 32 bits wide — so a 64-bit host word holds 4 (Q8.8) or 2 (Q16.16)
+//! Q-values. The interleaved fast-path executor exploits this to fuse
+//! several table fields into a single 64-bit load (one memory operation
+//! where the scalar path issues several). These helpers define the lane
+//! convention: lane `k` occupies bits `[k·w, (k+1)·w)` of the word, where
+//! `w = storage_bits()` — little-endian lane order, matching how a
+//! hardware concatenation of `w`-bit BRAM words onto a wide bus is
+//! usually drawn.
+//!
+//! Round-tripping relies on the [`QValue`] bit contract: `to_bits` is
+//! width-masked (no bits above `w`) and `from_bits` ignores bits above
+//! `w`, so extraction only needs a shift, not a mask-and-shift pair.
+
+use crate::QValue;
+
+/// How many `V`-sized lanes fit in a `u64` (4 for Q8.8, 2 for Q16.16).
+///
+/// `storage_bits()` must divide 64, which holds for every power-of-two
+/// storage width this crate defines.
+#[inline(always)]
+pub fn lanes_per_u64<V: QValue>() -> u32 {
+    debug_assert!(64 % V::storage_bits() == 0);
+    64 / V::storage_bits()
+}
+
+/// Insert `v` into lane `lane` of `word`, preserving the other lanes.
+#[inline(always)]
+pub fn insert_lane<V: QValue>(word: u64, lane: u32, v: V) -> u64 {
+    let w = V::storage_bits();
+    debug_assert!(lane < lanes_per_u64::<V>());
+    let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+    let shift = lane * w;
+    (word & !(mask << shift)) | (v.to_bits() << shift)
+}
+
+/// Extract lane `lane` of `word` as a `V`.
+#[inline(always)]
+pub fn extract_lane<V: QValue>(word: u64, lane: u32) -> V {
+    debug_assert!(lane < lanes_per_u64::<V>());
+    // from_bits ignores bits above storage_bits(): shift alone suffices.
+    V::from_bits(word >> (lane * V::storage_bits()))
+}
+
+/// Pack up to [`lanes_per_u64`] values into one word (lane 0 first;
+/// missing trailing lanes are zero).
+#[inline]
+pub fn pack_lanes<V: QValue>(vals: &[V]) -> u64 {
+    assert!(vals.len() as u32 <= lanes_per_u64::<V>());
+    let mut word = 0u64;
+    for (lane, &v) in vals.iter().enumerate() {
+        word = insert_lane(word, lane as u32, v);
+    }
+    word
+}
+
+/// Unpack `out.len()` leading lanes of `word` (inverse of [`pack_lanes`]).
+#[inline]
+pub fn unpack_lanes<V: QValue>(word: u64, out: &mut [V]) {
+    assert!(out.len() as u32 <= lanes_per_u64::<V>());
+    for (lane, o) in out.iter_mut().enumerate() {
+        *o = extract_lane(word, lane as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Q16_16, Q8_8};
+
+    #[test]
+    fn lane_counts_match_table_one_widths() {
+        assert_eq!(lanes_per_u64::<Q8_8>(), 4);
+        assert_eq!(lanes_per_u64::<Q16_16>(), 2);
+        assert_eq!(lanes_per_u64::<f32>(), 2);
+        assert_eq!(lanes_per_u64::<f64>(), 1);
+    }
+
+    #[test]
+    fn q8_8_four_lane_round_trip() {
+        // Negative values exercise the sign-extension path: a packed
+        // negative lane must not leak its sign bits into its neighbours.
+        let vals = [
+            Q8_8::from_f64(-1.5),
+            Q8_8::from_f64(127.5),
+            Q8_8::from_f64(-128.0),
+            Q8_8::from_f64(0.25),
+        ];
+        let word = pack_lanes(&vals);
+        let mut back = [Q8_8::zero(); 4];
+        unpack_lanes(word, &mut back);
+        assert_eq!(back, vals);
+        for (lane, &v) in vals.iter().enumerate() {
+            assert_eq!(extract_lane::<Q8_8>(word, lane as u32), v);
+        }
+    }
+
+    #[test]
+    fn q16_16_two_lane_round_trip() {
+        let vals = [Q16_16::from_f64(-3.25), Q16_16::from_f64(1e4)];
+        let word = pack_lanes(&vals);
+        assert_eq!(extract_lane::<Q16_16>(word, 0), vals[0]);
+        assert_eq!(extract_lane::<Q16_16>(word, 1), vals[1]);
+    }
+
+    #[test]
+    fn insert_preserves_other_lanes() {
+        let vals = [
+            Q8_8::from_f64(1.0),
+            Q8_8::from_f64(2.0),
+            Q8_8::from_f64(3.0),
+            Q8_8::from_f64(4.0),
+        ];
+        let word = pack_lanes(&vals);
+        let patched = insert_lane(word, 2, Q8_8::from_f64(-9.5));
+        assert_eq!(extract_lane::<Q8_8>(patched, 0), vals[0]);
+        assert_eq!(extract_lane::<Q8_8>(patched, 1), vals[1]);
+        assert_eq!(extract_lane::<Q8_8>(patched, 2), Q8_8::from_f64(-9.5));
+        assert_eq!(extract_lane::<Q8_8>(patched, 3), vals[3]);
+    }
+
+    #[test]
+    fn full_width_lane_is_identity() {
+        use crate::Q32_32;
+        let v = Q32_32::from_f64(-1234.5);
+        let word = pack_lanes(&[v]);
+        assert_eq!(word, QValue::to_bits(v));
+        assert_eq!(extract_lane::<Q32_32>(word, 0), v);
+    }
+}

@@ -29,6 +29,7 @@
 //! hardware-format simulations from one code path.
 
 mod fixed;
+pub mod lanes;
 mod storage;
 mod value;
 

@@ -4,10 +4,19 @@
 # scrape smoke test, the fault-tolerance suites (SEU injection,
 # checkpoint/restore) with the self-gating protection-ladder campaign
 # (unprotected degrades permanently, ECC corrects, ECC+scrub recovers
-# to >=95% of fault-free optimality), and two instrumented quick
-# benches that fail if (a) the disabled-telemetry (NullSink) fast path
-# or (b) the scale-out executor's aggregate rate regressed >5% against
-# the tracked BENCH_throughput.json / BENCH_scaling.json baselines.
+# to >=95% of fault-free optimality), the K-way interleaved-executor
+# bit-exactness suite (both algorithms x every hazard mode at
+# K in {2,4,8}, plus fault-runtime / instrumented-sink fallbacks), and
+# two instrumented quick benches that fail if (a) the
+# disabled-telemetry (NullSink) fast path or (b) the scale-out
+# executor's aggregate rate regressed >5% against the tracked
+# BENCH_throughput.json / BENCH_scaling.json baselines. The throughput
+# bench also emits the roofline fields (stream-triad roof, per-row
+# achieved bytes/sec) and enforces the interleaved guards at the roof
+# row: >5% regression vs the committed interleaved baseline fails, as
+# does a paired interleaved/fast ratio (both sides re-measured
+# back-to-back, retried, so host noise correlates out) below the
+# documented noise floor.
 # Quick runs write results/BENCH_*_quick.json; the tracked root
 # baselines are only refreshed by full (no --quick) runs.
 set -euo pipefail
@@ -36,6 +45,9 @@ cargo test -q --release --offline -p qtaccel-accel --test faults
 
 echo "== checkpoint/restore suite (release) =="
 cargo test -q --release --offline -p qtaccel-accel --test checkpoint
+
+echo "== interleaved-executor bit-exactness suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test interleave
 
 echo "== cargo clippy (offline, deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
