@@ -238,6 +238,13 @@ impl WordReader {
         Ok(f64::from_bits(self.next()?))
     }
 
+    /// Payload words still unread. Lets decoders treat a trailing
+    /// optional section (added by a later writer) as absent when reading
+    /// an older checkpoint, instead of erroring on `Truncated`.
+    pub(crate) fn remaining(&self) -> usize {
+        self.words.len().saturating_sub(self.pos)
+    }
+
     /// Read a length-prefixed string written by [`WordWriter::push_str`].
     pub(crate) fn next_str(&mut self) -> Result<String, CheckpointError> {
         let len = self.next()? as usize;

@@ -993,6 +993,26 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         for (i, pipe) in self.pipes.iter().enumerate() {
             pipe.save_checkpoint(&shard_checkpoint_path(dir, i))?;
         }
+        // Health-instrumented batches leave a flight recording next to
+        // the sealed checkpoints: one probe snapshot per shard plus the
+        // seal marker — the post-mortem baseline a later crash dump is
+        // diffed against.
+        let snapshots: Vec<_> = self
+            .pipes
+            .iter()
+            .filter_map(|p| p.sink().health())
+            .map(|probe| probe.snapshot())
+            .collect();
+        if !snapshots.is_empty() {
+            let seal_cycle = snapshots.iter().map(|s| s.cycle).max().unwrap_or(0);
+            let mut recorder =
+                qtaccel_telemetry::FlightRecorder::new(snapshots.len() + 1);
+            for snap in snapshots {
+                recorder.push_snapshot(snap);
+            }
+            recorder.push_marker(seal_cycle, "batch_seal");
+            recorder.dump_to(dir.join("flight.jsonl"))?;
+        }
         Ok(BatchReport {
             stats,
             workers: self.workers(),
@@ -1026,6 +1046,19 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             merged.merge(p.counters());
         }
         merged
+    }
+
+    /// Aggregate health-probe snapshot across the shards: histograms
+    /// merge, counters sum, coverage bitsets OR (shards share one state
+    /// space, so the union is the batch's true coverage). `None` when no
+    /// attached sink carries a probe.
+    pub fn merged_health(&self) -> Option<qtaccel_telemetry::HealthProbe> {
+        let mut probes = self.pipes.iter().filter_map(|p| p.sink().health());
+        let mut merged = probes.next()?.clone();
+        for probe in probes {
+            merged.merge(probe);
+        }
+        Some(merged)
     }
 
     /// Access pipeline `i`'s learned Q-table.

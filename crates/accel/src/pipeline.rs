@@ -436,6 +436,15 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             // `CycleStats::fill_bubbles`.
             counters.add(CounterId::FillCycles, FILL);
         }
+        let mut sink = sink;
+        if S::HEALTH {
+            // Size the probe's coverage bitset and denominator now so
+            // coverage reads correctly even before the state space is
+            // fully explored.
+            if let Some(probe) = sink.health_mut() {
+                probe.bind_states(s as u64);
+            }
+        }
         Self {
             num_states: s,
             num_actions: a,
@@ -488,6 +497,12 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
     /// The attached trace sink.
     pub fn sink(&self) -> &S {
         &self.sink
+    }
+
+    /// The sink's health probe, when one is attached (`None` for every
+    /// sink that doesn't opt into `HEALTH` — the default).
+    pub fn health_probe(&self) -> Option<&qtaccel_telemetry::HealthProbe> {
+        self.sink.health()
     }
 
     /// Mutable access to the attached trace sink.
@@ -790,8 +805,12 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         }
     }
 
-    /// Stage-4 Qmax read-modify-write.
-    fn qmax_writeback(&mut self, s: State, a: Action, v: V, cycle: u64) {
+    /// Stage-4 Qmax read-modify-write. Returns `(wrote, flip)`: whether
+    /// the comparator improved the entry, and whether that write changed
+    /// the stored greedy action — the health layer's policy-churn signal
+    /// (`flip` is only computed under `S::HEALTH` and is `false`
+    /// otherwise).
+    fn qmax_writeback(&mut self, s: State, a: Action, v: V, cycle: u64) -> (bool, bool) {
         let idx = s as usize;
         if S::COUNTERS {
             // The RMW's read half always accesses the Qmax port.
@@ -802,10 +821,10 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         // A pending entry whose commit cycle already passed holds exactly
         // the value the BRAM would after draining, so the newest-writer
         // lookup needs no commit-cycle filter here.
-        let current = match self.config.hazard {
+        let (current, current_a) = match self.config.hazard {
             HazardMode::Ignore => {
                 self.commit_qmax_until(cycle);
-                self.qmax_mem[idx].0
+                self.qmax_mem[idx]
             }
             _ => {
                 // The controller services the RMW at the write cycle,
@@ -813,8 +832,8 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                 // visibility horizon past the next iteration's reads.
                 self.drain_horizon_qmax = self.drain_horizon_qmax.max(cycle);
                 self.newest_qmax(idx)
-                    .map(|p| p.value.0)
-                    .unwrap_or(self.qmax_mem[idx].0)
+                    .map(|p| p.value)
+                    .unwrap_or(self.qmax_mem[idx])
             }
         };
         if v.vcmp(current) == core::cmp::Ordering::Greater {
@@ -828,6 +847,38 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             };
             self.pending_qmax.push_back(p);
             self.fwd_qmax.push(p);
+            (true, S::HEALTH && a != current_a)
+        } else {
+            (false, false)
+        }
+    }
+
+    /// Feed one retired sample to the sink's health probe (no-op unless
+    /// `S::HEALTH`; call sites are additionally gated on the const so the
+    /// `NullSink` build monomorphizes this away entirely). Both engines
+    /// call this once per retired sample, in retirement order, with
+    /// identical arguments — the probe strides internally, so its state
+    /// is bit-exact across executors at any stride.
+    #[inline]
+    fn health_tick(
+        &mut self,
+        write_cycle: u64,
+        s: State,
+        q_sa: V,
+        q_new: V,
+        qmax_wrote: bool,
+        greedy_flip: bool,
+    ) {
+        if let Some(probe) = self.sink.health_mut() {
+            probe.observe_sample(
+                write_cycle,
+                s as u64,
+                V::to_bits(q_sa),
+                V::to_bits(q_new),
+                V::storage_bits(),
+                qmax_wrote,
+                greedy_flip,
+            );
         }
     }
 
@@ -971,7 +1022,10 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         if S::COUNTERS {
             self.counters.inc(CounterId::QWrites);
         }
-        self.qmax_writeback(s, a, q_new, write_cycle);
+        let (qmax_wrote, greedy_flip) = self.qmax_writeback(s, a, q_new, write_cycle);
+        if S::HEALTH {
+            self.health_tick(write_cycle, s, q_sa, q_new, qmax_wrote, greedy_flip);
+        }
 
         let iteration = self.stats.samples;
         self.stats.samples += 1;
@@ -1305,6 +1359,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         let fused_eligible = n > 0
             && !S::COUNTERS
             && !S::EVENTS
+            && !S::HEALTH
             && self.fault.is_none()
             && self.config.hazard == HazardMode::Forwarding
             && self.config.trainer.max_mode == MaxMode::QmaxArray
@@ -1414,17 +1469,22 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                 self.counters.inc(CounterId::QmaxReads);
             }
 
-            // Qmax read-modify-write.
+            // Qmax read-modify-write. In the immediate-commit modes
+            // memory already holds the newest image, so the stored pair
+            // read here is exactly what the cycle engine's forwarding
+            // lookup would return — the greedy-flip signal matches.
             let midx = s as usize;
-            let current = if immediate {
+            let (current, current_a) = if immediate {
                 self.drain_horizon_qmax = self.drain_horizon_qmax.max(write_cycle);
-                self.qmax_mem[midx].0
+                self.qmax_mem[midx]
             } else {
                 let mmem = &mut self.qmax_mem;
                 mring.retire_due(write_cycle, |a, v| mmem[a] = v);
-                self.qmax_mem[midx].0
+                self.qmax_mem[midx]
             };
+            let mut qmax_wrote = false;
             if q_new.vcmp(current) == core::cmp::Ordering::Greater {
+                qmax_wrote = true;
                 if S::COUNTERS {
                     self.counters.inc(CounterId::QmaxWrites);
                 }
@@ -1437,6 +1497,10 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                     addr: midx,
                     value: (q_new, a),
                 });
+            }
+            if S::HEALTH {
+                let flip = qmax_wrote && a != current_a;
+                self.health_tick(write_cycle, s, q_sa, q_new, qmax_wrote, flip);
             }
 
             self.stats.samples += 1;
@@ -1764,6 +1828,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         n > 0
             && !S::COUNTERS
             && !S::EVENTS
+            && !S::HEALTH
             && self.fault.is_none()
             && self.config.hazard == HazardMode::Forwarding
             && self.config.trainer.max_mode == MaxMode::QmaxArray
@@ -2095,7 +2160,10 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
     /// inter-iteration carry, in-flight write queues (the pipeline is
     /// *not* quiesced — resume is bit-exact mid-flight), and the fault
     /// runtime if one is attached. Telemetry (counter bank, event sink)
-    /// is observability, not architectural state, and is not captured.
+    /// is observability, not architectural state, and is not captured —
+    /// with one exception: an attached health probe *is* captured, so a
+    /// resumed run probes exactly the samples the unbroken run would
+    /// (the stride cursor is part of the sampling plan).
     pub fn checkpoint_bytes(&self) -> Vec<u8> {
         let mut w = WordWriter::with_header();
         w.push_str(&V::format_name());
@@ -2177,6 +2245,19 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                         w.push(l.bit as u64);
                         w.push(l.snapshot);
                     }
+                }
+            }
+        }
+        // Health probe (length-prefixed so readers without the section
+        // still parse; readers of older checkpoints see it absent).
+        match self.sink.health() {
+            None => w.push(0),
+            Some(probe) => {
+                w.push(1);
+                let words = probe.checkpoint_words();
+                w.push(words.len() as u64);
+                for word in words {
+                    w.push(word);
                 }
             }
         }
@@ -2316,6 +2397,37 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             }
             Some(Box::new(f))
         };
+        // Health probe section. Checkpoints written before health
+        // instrumentation existed simply end here — treat that exactly
+        // like a health-absent checkpoint. Decoded (and validated)
+        // before the commit phase, like everything else.
+        let health = if r.remaining() == 0 || r.next()? == 0 {
+            None
+        } else {
+            let nwords = r.next()? as usize;
+            let mut words = Vec::with_capacity(nwords);
+            for _ in 0..nwords {
+                words.push(r.next()?);
+            }
+            let mut probe = qtaccel_telemetry::HealthProbe::new(
+                qtaccel_telemetry::HealthConfig::default(),
+            );
+            probe
+                .restore_from_words(&words)
+                .map_err(|e| CheckpointError::Mismatch {
+                    field: "health probe",
+                    expected: "internally consistent probe section".to_string(),
+                    found: e,
+                })?;
+            if probe.num_states() != 0 && probe.num_states() != self.num_states as u64 {
+                return Err(CheckpointError::Mismatch {
+                    field: "health probe num_states",
+                    expected: self.num_states.to_string(),
+                    found: probe.num_states().to_string(),
+                });
+            }
+            Some(probe)
+        };
 
         // Commit.
         self.stats = stats;
@@ -2339,6 +2451,16 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             self.fwd_qmax.push(p);
         }
         self.fault = fault;
+        if S::HEALTH {
+            if let Some(slot) = self.sink.health_mut() {
+                match health {
+                    Some(probe) => *slot = probe,
+                    // Pre-health checkpoint: the resumed run's probe
+                    // starts fresh (its binding survives the reset).
+                    None => slot.reset(),
+                }
+            }
+        }
         Ok(())
     }
 

@@ -11,7 +11,8 @@ use crate::config::AccelConfig;
 use crate::fault::{FaultConfig, FaultStats};
 use crate::pipeline::{AccelPipeline, FastLayout};
 use crate::resources::{
-    analyze, with_histogram_regfile, with_perf_regfile, with_secded, AccelResources, EngineKind,
+    analyze, with_health_probes, with_histogram_regfile, with_perf_regfile, with_secded,
+    AccelResources, EngineKind,
 };
 use qtaccel_core::policy::Policy;
 use qtaccel_core::qtable::{QTable, QmaxTable};
@@ -71,6 +72,12 @@ impl<V: QValue, S: TraceSink> QLearningAccel<V, S> {
     /// Consume the engine and return its sink.
     pub fn into_sink(self) -> S {
         self.pipe.into_sink()
+    }
+
+    /// The sink's training-health probe, when one is attached (see
+    /// `qtaccel_telemetry::HealthSink`; `None` for every other sink).
+    pub fn health_probe(&self) -> Option<&qtaccel_telemetry::HealthProbe> {
+        self.pipe.health_probe()
     }
 
     /// Run `n` Q-value updates and return the cumulative cycle counters.
@@ -186,6 +193,16 @@ impl<V: QValue, S: TraceSink> QLearningAccel<V, S> {
         };
         if S::EVENTS {
             res = with_histogram_regfile(res, self.pipe.config());
+        }
+        // A health-probing sink brings the probe block (TD monitor,
+        // rail comparators, coverage bitset — [`with_health_probes`]).
+        if S::HEALTH {
+            res = with_health_probes(
+                res,
+                self.pipe.config(),
+                self.pipe.num_states(),
+                V::storage_bits(),
+            );
         }
         // ECC-protected memories carry their codecs and widened words.
         if self.pipe.fault_config().is_some_and(|c| c.ecc) {

@@ -139,6 +139,32 @@ pub fn with_histogram_regfile(mut res: AccelResources, config: &AccelConfig) -> 
     res
 }
 
+/// Fold the training-health probe block's fabric cost into a resource
+/// bundle: the TD-error datapath + log2 monitor, rail-proximity
+/// comparators, churn/stride/scalar counters and the one-bit-per-state
+/// coverage BRAM (see [`qtaccel_hdl::resource::health_probe_report`]).
+/// The engines apply this only when a health-probing sink is attached —
+/// DESIGN.md §2.6's disabled-costs-nothing policy extends to the health
+/// layer (§2.13). The probe taps the stage-4 write port passively and
+/// sits off the critical path, so modeled fmax is unaffected;
+/// utilization and power are recomputed over the combined report.
+pub fn with_health_probes(
+    mut res: AccelResources,
+    config: &AccelConfig,
+    num_states: usize,
+    value_bits: u32,
+) -> AccelResources {
+    let probe = qtaccel_hdl::resource::health_probe_report(
+        num_states as u64,
+        value_bits as u64,
+        64,
+    );
+    res.report = res.report.combine(probe);
+    res.utilization = res.report.utilization(&config.device);
+    res.power_mw = config.power.power_mw(&res.report, res.fmax_mhz);
+    res
+}
+
 /// Fold SECDED protection of the Q and Qmax memories into a resource
 /// bundle: both BRAMs store the widened codeword (Hamming parity plus
 /// the overall-parity bit over the value word — value + action for the
@@ -301,6 +327,24 @@ mod tests {
         // histogram monitor together stay well under 1 % of the device.
         let both = with_perf_regfile(inst, &cfg);
         assert!(both.utilization.ff_pct < 0.5, "{}", both.utilization.ff_pct);
+    }
+
+    #[test]
+    fn health_probe_overhead_is_priced_and_opt_in() {
+        let cfg = crate::config::AccelConfig::default();
+        let base = analyze(262_144, 8, 16, EngineKind::QLearning, &cfg, 1.0);
+        let inst = with_health_probes(base, &cfg, 262_144, 16);
+        // FF: the probe's own model — stride + popcount registers plus
+        // the histogram monitor and the 5-counter scalar file.
+        let expected_ff = 64 + 64 + (65 * 64 + 64) + 5 * 64;
+        assert_eq!(inst.report.ff - base.report.ff, expected_ff as u64);
+        // Coverage bitset: 262 144 one-bit entries = eight 32K×1 blocks.
+        assert_eq!(inst.report.bram36 - base.report.bram36, 8);
+        assert_eq!(inst.report.dsp, base.report.dsp, "no multipliers in a probe");
+        assert_eq!(inst.fmax_mhz, base.fmax_mhz, "probe taps the write port passively");
+        assert!(inst.power_mw > base.power_mw, "more fabric, more power");
+        // Probe block stays debug-sized even at 2 M pairs.
+        assert!(inst.utilization.ff_pct < 0.5, "{}", inst.utilization.ff_pct);
     }
 
     #[test]

@@ -70,14 +70,17 @@ use qtaccel_accel::{
 };
 use qtaccel_bench::grids::paper_grid;
 use qtaccel_bench::impl_to_json;
-use qtaccel_bench::metrics::measure_latency;
+use qtaccel_bench::metrics::{measure_latency, register_build_info};
 use qtaccel_bench::paper::TABLE1_STATES;
 use qtaccel_bench::report::{fmt_rate, results_dir};
 use qtaccel_bench::timing::{bench, stream_triad_bytes_per_sec};
 use qtaccel_core::trainer::TrainerConfig;
 use qtaccel_fixed::Q8_8;
 use qtaccel_telemetry::export::MetricsServer;
-use qtaccel_telemetry::{json, manifest, CountersOnly, Json, ToJson};
+use qtaccel_telemetry::{
+    json, manifest, CountersOnly, HealthConfig, HealthSink, Json, ToJson, Watchdog,
+    WatchdogConfig,
+};
 use std::path::Path;
 use std::path::PathBuf;
 
@@ -172,6 +175,9 @@ struct Report {
     /// Perf-counter dump of an instrumented re-run at the gate point
     /// (DESIGN.md §2.6) plus the config that produced it.
     telemetry: Json,
+    /// Training-health dump of a probed (HealthSink) re-run at the gate
+    /// point — probe snapshot plus one watchdog pass (DESIGN.md §2.13).
+    health: Json,
     /// Latency-probe histogram summaries (chunk service, queue wait,
     /// stall run lengths) from `qtaccel_bench::metrics::measure_latency`
     /// — DESIGN.md §2.10.
@@ -193,6 +199,7 @@ impl_to_json!(Report {
     roofline,
     interleaved_gate,
     telemetry,
+    health,
     latency,
     manifest,
 });
@@ -355,6 +362,36 @@ fn gate_counter_dump(samples: u64) -> Json {
         ("seed", cfg.trainer.seed.to_json()),
         ("hazard", format!("{:?}", cfg.hazard).to_json()),
         ("counters", a.counters().to_json()),
+    ])
+}
+
+/// Health-probed (HealthSink) re-run at the gate point: probe snapshot
+/// plus one watchdog pass over it, for the report's `health` block
+/// (DESIGN.md §2.13). An attached probe forces the general executor, so
+/// this runs off the timed sweep and never touches the gated NullSink
+/// measurements.
+fn gate_health_dump(samples: u64) -> Json {
+    let g = paper_grid(GATE_STATES, ACTIONS);
+    let cfg = AccelConfig::default();
+    let mut a = QLearningAccel::<Q8_8, HealthSink>::with_sink(
+        &g,
+        cfg,
+        HealthSink::new(HealthConfig::default()),
+    );
+    a.train_samples_fast(&g, samples);
+    let probe = a.health_probe().expect("health sink attached");
+    let mut wd = Watchdog::new(WatchdogConfig::default());
+    wd.check(probe, 0);
+    Json::Obj(vec![
+        ("states", GATE_STATES.to_json()),
+        ("samples", samples.to_json()),
+        ("seed", cfg.trainer.seed.to_json()),
+        ("snapshot", probe.snapshot().to_json()),
+        (
+            "alerts",
+            Json::Arr(wd.alerts().iter().map(|al| al.to_json()).collect()),
+        ),
+        ("watchdog_windows", wd.windows().to_json()),
     ])
 }
 
@@ -730,7 +767,10 @@ fn main() {
             eprintln!("error: --metrics-addr {addr}: {e}");
             std::process::exit(2);
         });
-        server.update(|reg| latency.register_into(reg));
+        server.update(|reg| {
+            latency.register_into(reg);
+            register_build_info(reg, &AccelConfig::default());
+        });
         println!("metrics: serving OpenMetrics on http://{}/metrics", server.addr());
         server
     });
@@ -754,6 +794,7 @@ fn main() {
         roofline,
         interleaved_gate,
         telemetry: gate_counter_dump(samples),
+        health: gate_health_dump(samples),
         latency: latency.to_json(),
         manifest: match manifest::provenance_with_workers(worker_threads) {
             Json::Obj(mut fields) => {

@@ -1,24 +1,64 @@
-//! End-to-end smoke test of the metrics service (DESIGN.md §2.10),
-//! runnable in seconds: run the latency probe, serve it on an ephemeral
-//! port, scrape it back over HTTP, and assert the acceptance payload —
-//! OpenMetrics-parseable text carrying the perf-counter bank, the
-//! executor queue-depth gauge, and at least three histogram families
-//! with p50/p90/p99 companions. `scripts/verify.sh` runs this binary;
-//! it exits non-zero on any missing piece.
+//! End-to-end smoke test of the metrics service (DESIGN.md §2.10,
+//! §2.13), runnable in seconds: run the latency probe and a K-way
+//! interleaved health-probed batch (`--streams K`, default 4), serve
+//! both on an ephemeral port, scrape them back over HTTP, and assert the
+//! acceptance payload — OpenMetrics-parseable text carrying the
+//! perf-counter bank, the executor queue-depth gauge, at least three
+//! histogram families with p50/p90/p99 companions, the
+//! `qtaccel_health_*` training-health families, and the
+//! `qtaccel_build_info` provenance gauge. `scripts/verify.sh` runs this
+//! binary; it exits non-zero on any missing piece.
 
-use qtaccel_bench::metrics::measure_latency;
+use qtaccel_accel::AccelConfig;
+use qtaccel_bench::metrics::{measure_health, measure_latency, register_build_info};
 use qtaccel_telemetry::export::{check_openmetrics, scrape, MetricsServer};
 
 fn main() {
-    // Small probe: 2 banks × |S|=256, 200k samples — a couple hundred
-    // milliseconds, but enough chunks to populate every histogram.
+    let mut streams = 4usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--streams" => {
+                streams = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&k| k >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("error: --streams needs a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (supported: --streams K)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Small probes: 2 banks × |S|=256, 200k samples for the latency
+    // histograms, and a K-way interleaved health-instrumented batch —
+    // a couple hundred milliseconds, but enough chunks to populate
+    // every histogram and every health family.
     let latency = measure_latency(256, 2, 200_000);
+    const HEALTH_SAMPLES: u64 = 100_000;
+    let health = measure_health(256, streams, HEALTH_SAMPLES);
+    println!(
+        "metrics smoke: health probe saw {} samples across {streams} interleaved streams \
+         ({} probed, {} states visited)",
+        health.probe.samples_seen(),
+        health.probe.samples_probed(),
+        health.probe.states_visited(),
+    );
 
     let server = MetricsServer::serve("127.0.0.1:0").unwrap_or_else(|e| {
         eprintln!("metrics smoke: FAILED to bind ephemeral port: {e}");
         std::process::exit(1);
     });
-    server.update(|reg| latency.register_into(reg));
+    server.update(|reg| {
+        latency.register_into(reg);
+        health.register_into(reg);
+        register_build_info(reg, &AccelConfig::default());
+    });
     println!("metrics smoke: serving on http://{}/metrics", server.addr());
 
     let body = scrape(server.addr()).unwrap_or_else(|e| {
@@ -49,6 +89,28 @@ fn main() {
             require(&format!("{hist}_{q} "));
         }
     }
+    // Training-health families (DESIGN.md §2.13) from the interleaved
+    // probed run, plus the provenance info gauge.
+    require("# TYPE qtaccel_health_td_error_magnitude histogram\n");
+    require(&format!(
+        "qtaccel_health_samples_seen_total {HEALTH_SAMPLES}\n"
+    ));
+    for counter in [
+        "qtaccel_health_samples_probed",
+        "qtaccel_health_policy_churn",
+        "qtaccel_health_watchdog_checks",
+    ] {
+        require(&format!("# TYPE {counter} counter\n"));
+    }
+    for gauge in ["qtaccel_health_states_visited", "qtaccel_health_state_coverage"] {
+        require(&format!("# TYPE {gauge} gauge\n"));
+    }
+    for rule in ["divergence", "saturation", "stalled_learning", "scrub_failure"] {
+        require(&format!("# TYPE qtaccel_health_alerts_{rule} counter\n"));
+    }
+    require("# TYPE qtaccel_build_info gauge\n");
+    require("qtaccel_build_info{");
+    require("format=\"Q8.8\"");
     if failed {
         eprintln!("---- scrape body ----\n{body}");
         std::process::exit(1);

@@ -6,12 +6,19 @@
 //! budget): step-optimality of the greedy policy at checkpoints, for one
 //! pipeline vs two shared pipelines, plus a Q-Learning vs SARSA curve on
 //! the same axis for the two engine fixtures.
+//!
+//! Alongside the optimality curves the experiment runs a
+//! health-instrumented single-pipeline Q-Learning leg (DESIGN.md §2.13)
+//! and snapshots its probe at the same checkpoints — TD-error decay,
+//! policy churn and state coverage over the identical cycle axis, the
+//! internal evidence *why* the external optimality curve moves.
 
 use crate::grids::paper_grid;
 use crate::report::render_table;
 use qtaccel_accel::{AccelConfig, DualPipelineShared, QLearningAccel, SarsaAccel};
 use qtaccel_core::eval::step_optimality;
 use qtaccel_envs::GridWorld;
+use qtaccel_telemetry::{HealthConfig, HealthSink, HealthSnapshot};
 
 /// One learning curve: (cycles, step-optimality) checkpoints.
 #[derive(Debug, Clone)]
@@ -38,6 +45,9 @@ impl Curve {
 pub struct Convergence {
     /// All measured curves.
     pub curves: Vec<Curve>,
+    /// Health-probe snapshots of the instrumented Q-Learning leg, one
+    /// per checkpoint on the same cycle axis as the curves.
+    pub health: Vec<HealthSnapshot>,
     /// Cycles for the single pipeline to reach 0.95 optimality.
     pub single_cycles_to_95: Option<u64>,
     /// Cycles for the dual pipeline to reach 0.95 optimality.
@@ -89,6 +99,26 @@ fn curve_dual(g: &GridWorld, cfg: AccelConfig, checkpoints: &[u64]) -> Curve {
     }
 }
 
+/// The instrumented leg: the same Q-Learning configuration with a
+/// health probe attached, snapshotted at every checkpoint. The probe
+/// taxes only this leg (it forces the general executor) — the measured
+/// curves above stay uninstrumented.
+fn health_leg(g: &GridWorld, cfg: AccelConfig, checkpoints: &[u64]) -> Vec<HealthSnapshot> {
+    let mut a = QLearningAccel::<qtaccel_fixed::Q8_8, HealthSink>::with_sink(
+        g,
+        cfg,
+        HealthSink::new(HealthConfig::default()),
+    );
+    let mut series = Vec::with_capacity(checkpoints.len());
+    let mut done = 0u64;
+    for &c in checkpoints {
+        a.train_samples_fast(g, c - done);
+        done = c;
+        series.push(a.health_probe().expect("health sink attached").snapshot());
+    }
+    series
+}
+
 /// Run on a `states`-state grid with checkpoints up to `max_cycles`.
 pub fn run(states: usize, max_cycles: u64) -> Convergence {
     let g = paper_grid(states, 4);
@@ -98,11 +128,13 @@ pub fn run(states: usize, max_cycles: u64) -> Convergence {
     let single = curve_single(&g, cfg, &checkpoints, false);
     let dual = curve_dual(&g, cfg, &checkpoints);
     let sarsa = curve_single(&g, cfg, &checkpoints, true);
+    let health = health_leg(&g, cfg, &checkpoints);
 
     let single_95 = single.cycles_to(0.95);
     let dual_95 = dual.cycles_to(0.95);
     Convergence {
         curves: vec![single, dual, sarsa],
+        health,
         single_cycles_to_95: single_95,
         dual_cycles_to_95: dual_95,
     }
@@ -136,7 +168,7 @@ impl Convergence {
 }
 
 crate::impl_to_json!(Curve { label, points });
-crate::impl_to_json!(Convergence { curves });
+crate::impl_to_json!(Convergence { curves, health });
 
 #[cfg(test)]
 mod tests {
@@ -159,5 +191,15 @@ mod tests {
                 assert!(last > curve.points[0].1, "{}: no progress", curve.label);
             }
         }
+        // The instrumented leg tracks the same checkpoint axis: one
+        // snapshot per checkpoint, sample counts matching the axis, and
+        // coverage/churn evidence of actual learning.
+        assert_eq!(c.health.len(), c.curves[0].points.len());
+        for (snap, (cycles, _)) in c.health.iter().zip(&c.curves[0].points) {
+            assert_eq!(snap.samples_seen, *cycles);
+        }
+        let last = c.health.last().unwrap();
+        assert!(last.states_visited > 0, "coverage bitset populated");
+        assert!(last.churn > 0, "greedy policy must have churned while learning");
     }
 }

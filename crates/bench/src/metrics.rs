@@ -11,11 +11,13 @@
 
 use crate::grids::paper_grid;
 use qtaccel_accel::executor::ShardedExecutor;
-use qtaccel_accel::{AccelConfig, HazardMode, IndependentPipelines, QLearningAccel};
-use qtaccel_fixed::Q8_8;
+use qtaccel_accel::{
+    AccelConfig, FastLayout, HazardMode, IndependentPipelines, QLearningAccel,
+};
+use qtaccel_fixed::{QValue, Q8_8};
 use qtaccel_telemetry::{
-    stall_run_lengths, CounterBank, CountersOnly, Histogram, Json, MetricsRegistry, RingSink,
-    ToJson, TraceSink,
+    stall_run_lengths, CounterBank, CountersOnly, HealthConfig, HealthProbe, HealthSink,
+    Histogram, Json, MetricsRegistry, RingSink, ToJson, TraceSink, Watchdog, WatchdogConfig,
 };
 use std::sync::Arc;
 
@@ -169,6 +171,93 @@ pub fn measure_latency(bank_states: usize, pipes: usize, samples: u64) -> Latenc
     }
 }
 
+/// Training-health evidence for one bench run: the merged probe of a
+/// K-way interleaved health-instrumented batch plus the watchdog that
+/// judged it (DESIGN.md §2.13). Serializes as the `health` block the
+/// bench reports embed and publishes the `qtaccel_health_*` families
+/// into a [`MetricsRegistry`] for the scrape endpoint.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Interleaved stream width the probed batch ran with.
+    pub streams: usize,
+    /// Samples trained across all streams.
+    pub samples: u64,
+    /// The merged probe across the per-stream probes.
+    pub probe: HealthProbe,
+    /// The watchdog after its final check over the merged probe.
+    pub watchdog: Watchdog,
+}
+
+impl HealthReport {
+    /// The JSON block the benches embed: a point-in-time snapshot plus
+    /// the watchdog verdict (alert list and bookkeeping counters).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("streams", Json::UInt(self.streams as u64)),
+            ("samples", Json::UInt(self.samples)),
+            ("snapshot", self.probe.snapshot().to_json()),
+            (
+                "alerts",
+                Json::Arr(self.watchdog.alerts().iter().map(|a| a.to_json()).collect()),
+            ),
+            ("watchdog_checks", Json::UInt(self.watchdog.checks())),
+            ("watchdog_windows", Json::UInt(self.watchdog.windows())),
+        ])
+    }
+
+    /// Publish the probe and watchdog families (`qtaccel_health_*`)
+    /// into `registry`.
+    pub fn register_into(&self, registry: &mut MetricsRegistry) {
+        self.probe.register_into(registry);
+        self.watchdog.register_into(registry);
+    }
+}
+
+/// Run the health probe: a K-way interleaved `train_batch_with` of
+/// `samples` over `streams` health-instrumented pipelines of
+/// `bank_states` states (the probe forces the general executor — see
+/// DESIGN.md §2.13 — so this is also the scrape-time proof that the
+/// instrumented path works under interleaved grouping), then one
+/// watchdog pass over the merged probe. Fully deterministic.
+pub fn measure_health(bank_states: usize, streams: usize, samples: u64) -> HealthReport {
+    let envs: Vec<_> = (0..streams).map(|_| paper_grid(bank_states, ACTIONS)).collect();
+    let mut banks = IndependentPipelines::<Q8_8, HealthSink>::with_sinks(
+        &envs,
+        AccelConfig::default(),
+        vec![HealthSink::new(HealthConfig::default()); streams],
+    );
+    banks.train_batch_with(&envs, samples, FastLayout::Interleaved, streams);
+    let probe = banks.merged_health().expect("health sinks attached");
+    let mut watchdog = Watchdog::new(WatchdogConfig::default());
+    watchdog.check(&probe, 0);
+    HealthReport {
+        streams,
+        samples,
+        probe,
+        watchdog,
+    }
+}
+
+/// Publish the `qtaccel_build_info` info-style gauge: a constant-1
+/// sample whose labels carry the producing build's provenance (git
+/// revision + dirty flag, RNG seed, fixed-point format) so every scrape
+/// is attributable to the tree and configuration that ran.
+pub fn register_build_info(registry: &mut MetricsRegistry, config: &AccelConfig) {
+    let git = qtaccel_telemetry::manifest::git_info();
+    let seed = config.trainer.seed.to_string();
+    let format = Q8_8::format_name();
+    registry.set_info(
+        "qtaccel_build_info",
+        "build provenance: git revision, RNG seed, fixed-point format",
+        &[
+            ("git_rev", git.commit.as_str()),
+            ("git_dirty", if git.dirty { "true" } else { "false" }),
+            ("seed", seed.as_str()),
+            ("format", format.as_str()),
+        ],
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +292,31 @@ mod tests {
         check_openmetrics(&text).expect("valid exposition");
         assert!(text.contains("qtaccel_samples_total 100000\n"));
         assert!(text.contains("# TYPE qtaccel_stall_run_cycles histogram\n"));
+    }
+
+    #[test]
+    fn health_probe_report_is_deterministic_and_scrapes_strictly() {
+        let r = measure_health(64, 2, 40_000);
+        assert_eq!(r.probe.samples_seen(), 40_000, "every retired sample seen");
+        assert!(r.probe.samples_probed() > 0);
+        assert!(r.probe.states_visited() > 0, "coverage bitset populated");
+        assert_eq!(r.watchdog.checks(), 1);
+        // Deterministic replay: the probed batch shares the engines'
+        // fixed seeds, so the merged probe is bit-identical run to run.
+        assert_eq!(measure_health(64, 2, 40_000).probe, r.probe);
+
+        let p = parse(&r.to_json().pretty()).expect("health JSON parses");
+        assert_eq!(p.get("streams").unwrap().as_u64(), Some(2));
+        assert!(p.get("snapshot").unwrap().get("td").unwrap().get("p99").is_some());
+
+        let mut reg = MetricsRegistry::new();
+        r.register_into(&mut reg);
+        register_build_info(&mut reg, &AccelConfig::default());
+        let text = encode_openmetrics(&reg);
+        check_openmetrics(&text).expect("valid exposition");
+        assert!(text.contains("# TYPE qtaccel_health_td_error_magnitude histogram\n"));
+        assert!(text.contains("qtaccel_health_samples_seen_total 40000\n"));
+        assert!(text.contains("# TYPE qtaccel_build_info gauge\n"));
+        assert!(text.contains("format=\"Q8.8\""));
     }
 }

@@ -183,6 +183,47 @@ pub fn histogram_regfile_report(num_buckets: u64, counter_bits: u64) -> Resource
     }
 }
 
+/// Fabric cost of the training-health probe block (the telemetry
+/// `HealthProbe` hardware model): a TD-error datapath (one
+/// `value_bits`-wide subtractor and absolute-value stage, ~1 LUT/bit
+/// each) feeding a [`histogram_regfile_report`]-shaped log2 monitor, two
+/// rail-proximity comparators (Q and Qmax write words against both
+/// format rails, ~1 LUT/bit each, ~2·`value_bits` total per word with
+/// the shared rail constants folded into the LUT masks), a greedy-flip
+/// comparator over the action field (~8 LUTs) with its churn counter,
+/// the stride down-counter, and a `counter_bits`-wide scalar counter
+/// file (samples seen/probed, churn, two near-rail counters — 5
+/// registers through [`perf_regfile_report`]'s adder/mux model). The
+/// state-visit coverage bitset is one bit per state in BRAM
+/// ([`crate::bram::blocks_for`] at width 1) with a popcount register.
+///
+/// Like the perf and histogram banks, this is debug logic outside the
+/// paper's baseline engine: the simulator folds it into a report only
+/// when a health-probing sink is attached (DESIGN.md §2.6's
+/// disabled-costs-nothing policy, extended to §2.13's health layer).
+pub fn health_probe_report(num_states: u64, value_bits: u64, counter_bits: u64) -> ResourceReport {
+    // TD-error subtract + abs, then the histogram monitor's own LZC and
+    // bucket counters.
+    let td_datapath_lut = 2 * value_bits;
+    let histogram = histogram_regfile_report(64 + 1, counter_bits);
+    // Near-rail comparators for the Q and Qmax write words.
+    let rail_cmp_lut = 2 * (2 * value_bits);
+    // Greedy-flip compare + stride down-counter decode.
+    let control_lut = 8 + counter_bits;
+    let scalars = perf_regfile_report(5, counter_bits);
+    let coverage_bram = crate::bram::blocks_for(num_states, 1);
+    ResourceReport {
+        dsp: 0,
+        bram36: coverage_bram,
+        uram: 0,
+        lut: td_datapath_lut + rail_cmp_lut + control_lut + histogram.lut + scalars.lut,
+        ff: counter_bits // stride down-counter
+            + counter_bits // coverage popcount register
+            + histogram.ff
+            + scalars.ff,
+    }
+}
+
 /// Fabric cost of a SECDED (Hamming + overall parity) encoder/decoder
 /// pair for one `data_bits`-wide memory (the [`crate::fault::Secded`]
 /// codec): the encoder builds `p` parity trees over roughly half the
@@ -450,6 +491,26 @@ mod tests {
         assert!(hist.lut > perf_regfile_report(65, 64).lut);
         assert_eq!(hist.dsp, 0);
         assert_eq!(hist.bram36, 0);
+    }
+
+    #[test]
+    fn health_probe_report_composes_the_monitor_blocks() {
+        // 16-bit Q8.8 values, 64-bit counters, 1024 states.
+        let h = health_probe_report(1024, 16, 64);
+        let hist = histogram_regfile_report(65, 64);
+        let scalars = perf_regfile_report(5, 64);
+        // FF: stride counter + popcount register + the two counter files.
+        assert_eq!(h.ff, 64 + 64 + hist.ff + scalars.ff);
+        // LUT: TD subtract/abs (2·16) + rail comparators (2·2·16) +
+        // flip compare & stride decode (8 + 64) + the counter files.
+        assert_eq!(h.lut, 32 + 64 + 72 + hist.lut + scalars.lut);
+        // Coverage bitset: 1024 one-bit entries fit a single 32K×1 block.
+        assert_eq!(h.bram36, 1);
+        assert_eq!(h.dsp, 0);
+        // The probe block stays debug-sized: well under 1% of a VU13P.
+        let d = Device::XCVU13P;
+        assert!((h.lut as f64) < 0.01 * d.luts as f64);
+        assert!((h.ff as f64) < 0.01 * d.ffs as f64);
     }
 
     #[test]

@@ -48,6 +48,13 @@ fn escape_help(help: &str) -> String {
     help.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 /// Encode a registry snapshot as OpenMetrics text (Prometheus
 /// exposition format, `# EOF`-terminated).
 ///
@@ -71,6 +78,19 @@ pub fn encode_openmetrics(registry: &MetricsRegistry) -> String {
                 let _ = writeln!(out, "# TYPE {name} gauge");
                 let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
                 let _ = writeln!(out, "{name} {}", fmt_value(*v));
+            }
+            MetricValue::Info(labels) => {
+                // Encoded as the conventional constant-1 gauge with the
+                // payload in labels (`build_info` style) — the `info`
+                // metric type postdates the Prometheus text format and
+                // plain gauges scrape everywhere.
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+                let rendered: Vec<String> = labels
+                    .iter()
+                    .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+                    .collect();
+                let _ = writeln!(out, "{name}{{{}}} 1", rendered.join(","));
             }
             MetricValue::Histogram(h) => {
                 let _ = writeln!(out, "# TYPE {name} histogram");
@@ -591,6 +611,69 @@ pub fn chrome_trace(tracks: &[(String, Vec<Event>)]) -> Json {
     ])
 }
 
+/// Render a training-health snapshot series as Chrome trace counter
+/// events (`ph:"C"`), one counter track per probe quantity, so TD-error,
+/// policy churn, rail proximity and state coverage plot as time series
+/// in ui.perfetto.dev alongside the span tracks from [`chrome_trace`].
+///
+/// `track_name` prefixes every counter name (counter tracks are keyed by
+/// name, so per-pipeline prefixes keep multi-pipeline documents apart);
+/// timestamps reuse the 1 cycle = 1 µs mapping. Counters carry the
+/// cumulative probe values at each snapshot — Perfetto renders the
+/// series directly, and rates are one derivative away.
+pub fn health_counter_tracks(
+    track_name: &str,
+    series: &[crate::health::HealthSnapshot],
+) -> Vec<Json> {
+    let mut events = Vec::with_capacity(series.len() * 4);
+    for snap in series {
+        let coverage = if snap.num_states > 0 {
+            snap.states_visited as f64 / snap.num_states as f64
+        } else {
+            0.0
+        };
+        let counters: [(&str, Json); 4] = [
+            ("td_error_p99", Json::UInt(snap.td.p99)),
+            ("policy_churn", Json::UInt(snap.churn)),
+            (
+                "near_rail",
+                Json::UInt(snap.near_rail_q + snap.near_rail_qmax),
+            ),
+            ("state_coverage", Json::Num(coverage)),
+        ];
+        for (suffix, value) in counters {
+            events.push(Json::Obj(vec![
+                ("ph", Json::Str("C".into())),
+                ("name", Json::Str(format!("{track_name}/{suffix}"))),
+                ("pid", Json::UInt(1)),
+                ("ts", Json::UInt(snap.cycle)),
+                ("args", Json::Obj(vec![("value", value)])),
+            ]));
+        }
+    }
+    events
+}
+
+/// [`chrome_trace`] plus [`health_counter_tracks`]: span tracks from the
+/// event streams and counter tracks from the health series, one loadable
+/// document.
+pub fn chrome_trace_with_health(
+    tracks: &[(String, Vec<Event>)],
+    health: &[(String, Vec<crate::health::HealthSnapshot>)],
+) -> Json {
+    let mut doc = chrome_trace(tracks);
+    if let Json::Obj(fields) = &mut doc {
+        if let Some((_, Json::Arr(events))) =
+            fields.iter_mut().find(|(k, _)| *k == "traceEvents")
+        {
+            for (name, series) in health {
+                events.extend(health_counter_tracks(name, series));
+            }
+        }
+    }
+    doc
+}
+
 /// [`chrome_trace`] over JSONL trace files: each `(track_name, text)`
 /// pair is parsed with [`events_from_jsonl`] first.
 pub fn chrome_trace_from_jsonl(tracks: &[(String, String)]) -> Result<Json, String> {
@@ -788,6 +871,42 @@ mod tests {
             .unwrap();
         assert_eq!(stall.get("ts").unwrap().as_u64(), Some(2));
         assert_eq!(stall.get("dur").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn health_counter_tracks_render_the_snapshot_series() {
+        use crate::health::{HealthConfig, HealthProbe};
+        let mut probe = HealthProbe::new(HealthConfig::default());
+        probe.bind_states(4);
+        probe.observe_sample(10, 1, 0, 256, 16, true, true);
+        let series = vec![probe.snapshot()];
+        let emitted = Json::Arr(health_counter_tracks("p0", &series));
+        let parsed = parse(&emitted.compact()).expect("counter events are valid JSON");
+        let events = parsed.as_arr().unwrap();
+        assert_eq!(events.len(), 4, "four counter tracks per snapshot");
+        for e in events {
+            assert_eq!(e.get("ph").unwrap().as_str(), Some("C"));
+            assert_eq!(e.get("ts").unwrap().as_u64(), Some(10));
+            assert!(e.get("args").unwrap().get("value").is_some());
+        }
+        let names: Vec<&str> = events
+            .iter()
+            .map(|e| e.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for suffix in ["td_error_p99", "policy_churn", "near_rail", "state_coverage"] {
+            assert!(names.contains(&format!("p0/{suffix}").as_str()), "{names:?}");
+        }
+        // Counters merge into one loadable document next to span tracks,
+        // and the whole thing survives the strict parser.
+        let doc = chrome_trace_with_health(
+            &[("p0".into(), stall_stream())],
+            &[("p0".into(), series)],
+        );
+        let reparsed = parse(&doc.compact()).expect("valid JSON");
+        let n = reparsed.get("traceEvents").unwrap().as_arr().unwrap().len();
+        let spans = parse(&chrome_trace(&[("p0".into(), stall_stream())]).compact()).unwrap();
+        let spans_n = spans.get("traceEvents").unwrap().as_arr().unwrap().len();
+        assert_eq!(n, spans_n + 4, "counter events appended to the span set");
     }
 
     #[test]

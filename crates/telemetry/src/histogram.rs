@@ -116,6 +116,26 @@ impl Histogram {
             .map(|(i, &n)| (Self::upper_bound(i), n))
     }
 
+    /// The raw bucket counters in index order — the checkpoint
+    /// serialization view (`health` probe state rides in `accel`
+    /// checkpoints word-for-word).
+    pub fn bucket_counts(&self) -> &[u64; Self::BUCKETS] {
+        &self.buckets
+    }
+
+    /// Rebuild a histogram from checkpointed raw parts. The caller
+    /// asserts consistency (`count` equals the bucket sum, `max` lands
+    /// in an occupied bucket); checkpoint restore validates this before
+    /// calling and the container CRC guards the words in between.
+    pub fn from_parts(buckets: [u64; Self::BUCKETS], count: u64, sum: u64, max: u64) -> Self {
+        Self {
+            buckets,
+            count,
+            sum,
+            max,
+        }
+    }
+
     /// Fold another histogram into this one, bucket by bucket — the
     /// scale-out aggregation primitive, mirroring [`CounterBank::merge`]:
     /// every shard observes into its own histogram lock-free and the
@@ -240,6 +260,10 @@ pub enum MetricValue {
     Gauge(f64),
     /// A latency/size distribution.
     Histogram(Histogram),
+    /// An info-style metric: a constant `1` sample whose payload rides
+    /// in its labels (the Prometheus `build_info` convention — used for
+    /// `qtaccel_build_info` so every scrape is provenance-attributable).
+    Info(Vec<(String, String)>),
 }
 
 #[derive(Debug, Clone)]
@@ -360,6 +384,26 @@ impl MetricsRegistry {
         *slot = MetricValue::Histogram(h.clone());
     }
 
+    /// Set info metric `name` to the given label pairs (registering it
+    /// on first use). Label keys follow the metric-name character rules;
+    /// values are free-form (the encoder escapes them).
+    pub fn set_info(&mut self, name: &str, help: &str, labels: &[(&str, &str)]) {
+        for (k, _) in labels {
+            assert!(
+                !k.is_empty()
+                    && k.bytes()
+                        .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'),
+                "info label key `{k}` must be snake_case ascii"
+            );
+        }
+        let owned: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let slot = self.upsert(name, help, MetricValue::Info(owned.clone()));
+        *slot = MetricValue::Info(owned);
+    }
+
     /// Publish a [`CounterBank`] snapshot: one `qtaccel_*_total` counter
     /// per register, named by [`CounterId::metric_name`].
     pub fn record_counter_bank(&mut self, bank: &CounterBank) {
@@ -383,11 +427,15 @@ impl MetricsRegistry {
                 MetricValue::Counter(_) => MetricValue::Counter(0),
                 MetricValue::Gauge(v) => MetricValue::Gauge(*v),
                 MetricValue::Histogram(_) => MetricValue::Histogram(Histogram::new()),
+                MetricValue::Info(labels) => MetricValue::Info(labels.clone()),
             };
             match (&m.value, self.upsert(&m.name, &m.help, neutral)) {
                 (MetricValue::Counter(v), MetricValue::Counter(mine)) => *mine += v,
                 (MetricValue::Gauge(v), MetricValue::Gauge(mine)) => *mine = *v,
                 (MetricValue::Histogram(h), MetricValue::Histogram(mine)) => mine.merge(h),
+                (MetricValue::Info(labels), MetricValue::Info(mine)) => {
+                    mine.clone_from(labels);
+                }
                 (theirs, mine) => {
                     panic!("metric `{}` kind mismatch: {mine:?} vs {theirs:?}", m.name)
                 }
@@ -410,6 +458,17 @@ impl ToJson for MetricsRegistry {
                         MetricValue::Counter(v) => Json::UInt(*v),
                         MetricValue::Gauge(v) => Json::Num(*v),
                         MetricValue::Histogram(h) => h.to_json(),
+                        MetricValue::Info(labels) => Json::Arr(
+                            labels
+                                .iter()
+                                .map(|(k, v)| {
+                                    Json::Arr(vec![
+                                        Json::Str(k.clone()),
+                                        Json::Str(v.clone()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
                     };
                     Json::Obj(vec![("name", Json::Str(m.name.clone())), ("value", v)])
                 })

@@ -28,7 +28,13 @@
 //! * [`export`] — the ways out of the process: an OpenMetrics text
 //!   encoder with a std-only scrape endpoint ([`MetricsServer`]), and a
 //!   Chrome trace-event (Perfetto-loadable) converter for event streams
-//!   ([`export::chrome_trace`]).
+//!   ([`export::chrome_trace`]) plus health counter tracks
+//!   ([`export::chrome_trace_with_health`]).
+//! * [`health`] — training-health observability: per-pipeline
+//!   convergence probes ([`HealthProbe`], fed through the
+//!   [`TraceSink::health_mut`] seam by [`HealthSink`]), the [`Watchdog`]
+//!   rule engine raising structured [`Alert`]s, and the crash
+//!   [`FlightRecorder`] with its panic-dump harness.
 //!
 //! The cost contract: telemetry is **disabled by default and free when
 //! disabled**. Pipelines are generic over the sink; with [`NullSink`]
@@ -40,6 +46,7 @@
 pub mod counters;
 pub mod event;
 pub mod export;
+pub mod health;
 pub mod histogram;
 pub mod json;
 pub mod manifest;
@@ -48,7 +55,12 @@ pub mod sink;
 pub use counters::{CounterBank, CounterId};
 pub use event::{Event, MemKind};
 pub use export::{
-    check_openmetrics, chrome_trace, encode_openmetrics, events_from_jsonl, scrape, MetricsServer,
+    check_openmetrics, chrome_trace, chrome_trace_with_health, encode_openmetrics,
+    events_from_jsonl, health_counter_tracks, scrape, MetricsServer,
+};
+pub use health::{
+    Alert, FlightEntry, FlightRecorder, HealthConfig, HealthProbe, HealthSink, HealthSnapshot,
+    Watchdog, WatchdogConfig, WatchdogRule,
 };
 pub use histogram::{stall_run_lengths, Histogram, HistogramSummary, MetricValue, MetricsRegistry};
 pub use json::{Json, ToJson};

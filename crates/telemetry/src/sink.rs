@@ -33,6 +33,11 @@ pub trait TraceSink {
     const EVENTS: bool;
     /// Whether the pipeline should maintain its perf-counter bank.
     const COUNTERS: bool;
+    /// Whether the pipeline should feed per-sample training-health
+    /// probes (see [`crate::health`]). Defaults to `false` so existing
+    /// sinks are untouched and the specialized fast executors stay
+    /// eligible; [`crate::health::HealthSink`] opts in.
+    const HEALTH: bool = false;
 
     /// Receive one event. Never called when `EVENTS` is `false`.
     fn record(&mut self, ev: &Event);
@@ -41,6 +46,17 @@ pub trait TraceSink {
     /// only); zero for unbounded and no-op sinks.
     fn dropped_iterations(&self) -> u64 {
         0
+    }
+
+    /// The carried health probe, if this sink has one. Consulted by the
+    /// pipelines only when `HEALTH` is `true`.
+    fn health(&self) -> Option<&crate::health::HealthProbe> {
+        None
+    }
+
+    /// Mutable access to the carried health probe, if any.
+    fn health_mut(&mut self) -> Option<&mut crate::health::HealthProbe> {
+        None
     }
 
     /// Flush any buffered output (file-backed sinks).

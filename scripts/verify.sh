@@ -7,10 +7,15 @@
 # to >=95% of fault-free optimality), the K-way interleaved-executor
 # bit-exactness suite (both algorithms x every hazard mode at
 # K in {2,4,8}, plus fault-runtime / instrumented-sink fallbacks), and
+# the training-health suite (health-off bit-identity, engine-exact
+# probes, checkpointed probe state, the ECC-off divergence watchdog
+# proof, crash-dump JSONL round-trip), and
 # two instrumented quick benches that fail if (a) the
 # disabled-telemetry (NullSink) fast path or (b) the scale-out
 # executor's aggregate rate regressed >5% against the tracked
-# BENCH_throughput.json / BENCH_scaling.json baselines. The throughput
+# BENCH_throughput.json / BENCH_scaling.json baselines — (a) holds with
+# the health layer compiled in but disabled, keeping probes free when
+# off. The throughput
 # bench also emits the roofline fields (stream-triad roof, per-row
 # achieved bytes/sec) and enforces the interleaved guards at the roof
 # row: >5% regression vs the committed interleaved baseline fails, as
@@ -38,7 +43,10 @@ echo "== metrics-service suite (release) =="
 cargo test -q --release --offline -p qtaccel-accel --test metrics
 
 echo "== metrics smoke: serve on an ephemeral port, scrape, validate =="
-cargo run --release --offline -p qtaccel-bench --bin metrics_smoke
+cargo run --release --offline -p qtaccel-bench --bin metrics_smoke -- --streams 4
+
+echo "== training-health suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test health
 
 echo "== fault-injection suite (release) =="
 cargo test -q --release --offline -p qtaccel-accel --test faults
