@@ -48,10 +48,10 @@ use crate::checkpoint::{self, CheckpointError, WordReader, WordWriter};
 use crate::config::{AccelConfig, HazardMode};
 use crate::fault::{strike_word, FaultConfig, FaultRt, FaultStats, LatentError};
 use qtaccel_core::policy::Policy;
-use qtaccel_core::qtable::{MaxMode, QTable, QmaxTable};
+use qtaccel_core::qtable::{MaxMode, PackedQTable, QTable, QmaxTable};
 use qtaccel_core::trainer::{seed_unit, Transition};
 use qtaccel_envs::{sa_index, Action, Environment, RewardTable, State};
-use qtaccel_fixed::QValue;
+use qtaccel_fixed::{QValue, QuantPolicy};
 use qtaccel_hdl::lfsr::{Lfsr32, Lfsr32Unrolled};
 use qtaccel_hdl::pipeline::CycleStats;
 use qtaccel_hdl::rng::{epsilon_greedy_draw, epsilon_to_q32, RngSource, SeedSequence};
@@ -253,6 +253,45 @@ struct FastCell<V> {
 /// `crate::interleave`).
 pub(crate) const TERMINAL_BIT: u32 = 1 << 31;
 
+/// Quantized-storage runtime (DESIGN.md §2.14): the stored-format policy
+/// plus the dedicated stochastic-rounding dither LFSR unit
+/// (`seed_unit::QUANT`), consumed once per retired sample in retirement
+/// order by every executor.
+#[derive(Debug, Clone)]
+struct QuantRt {
+    policy: QuantPolicy,
+    rng: Lfsr32,
+}
+
+/// Split (structure-of-arrays) environment image for the *packed
+/// quantized* executor: an aligned `u32` per `(s, a)` that packs the
+/// next state (low 22 bits), the terminal flag and the reward's stored
+/// code, next to a mutable working-format Q column kept *on the storage
+/// grid* (every write runs the stochastic rounder, so dequantized codes
+/// are the only values the column ever holds). Holding the live column
+/// in the working format is a host-executor representation choice, not
+/// a semantic one: the architectural stored image is `stored_bits` wide
+/// — [`PackedQTable`] materialises it, the resource model prices it —
+/// and the on-grid column round-trips through it losslessly, while the
+/// hot loop keeps only the writeback rounder on its dependency chain
+/// (no per-read dequantize, no per-write encode). The split still
+/// narrows the read-only transition stream to half of [`FastCell`]'s
+/// 8 bytes.
+#[derive(Debug, Clone)]
+struct PackedImage<V> {
+    nr: Vec<u32>,
+    q: Vec<V>,
+}
+
+/// Next-state field of [`PackedImage::nr`] words (the packed executor
+/// requires `|S| ≤ 2^22`).
+const PK_STATE_MASK: u32 = (1 << 22) - 1;
+/// Terminal-state flag in [`PackedImage::nr`] words.
+const PK_TERMINAL: u32 = 1 << 22;
+/// Bit offset of the reward's stored code in [`PackedImage::nr`] words
+/// (requires `stored_bits ≤ 8`).
+const PK_REWARD_SHIFT: u32 = 24;
+
 /// Invalid window-register address: no real write can carry it (the
 /// fused and interleaved executors track only 3-slot address windows).
 pub(crate) const NO_ADDR: usize = usize::MAX;
@@ -345,6 +384,9 @@ pub struct AccelPipeline<V, S: TraceSink = NullSink> {
     num_states: usize,
     num_actions: usize,
     config: AccelConfig,
+    // Which RNG seed bank this pipeline draws from (multi-pipeline
+    // configurations stride their units by this index).
+    pipeline_index: u64,
     // Stage-1 derived constants.
     alpha_v: V,
     one_minus_alpha: V,
@@ -366,6 +408,10 @@ pub struct AccelPipeline<V, S: TraceSink = NullSink> {
     // `crate::interleave`). Like `fast_image`, a derived cache of
     // immutable environment data — never checkpointed.
     tr_image: Option<std::sync::Arc<Vec<u64>>>,
+    // Split (transition | terminal | reward code) + on-grid Q-column
+    // image for the packed quantized executor; built on first use,
+    // invalidated whenever the quantization policy changes.
+    packed_image: Option<PackedImage<V>>,
     // In-flight writes (queues are the source of truth; the indices are
     // O(1) newest-writer accelerators kept in sync on push/retire).
     pending_q: VecDeque<Pending<V>>,
@@ -393,6 +439,10 @@ pub struct AccelPipeline<V, S: TraceSink = NullSink> {
     // to one branch on a pointer-sized option, and the fused executor
     // stays engaged).
     fault: Option<Box<FaultRt>>,
+    // Quantized-storage runtime (None = full-width storage: the
+    // writeback hook is one branch on the option, and the unquantized
+    // fast paths stay engaged — DESIGN.md §2.14).
+    quant: Option<QuantRt>,
 }
 
 impl<V: QValue> AccelPipeline<V> {
@@ -449,6 +499,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             num_states: s,
             num_actions: a,
             config,
+            pipeline_index,
             alpha_v,
             one_minus_alpha: alpha_v.one_minus(),
             alpha_gamma: alpha_v.mul(gamma_v),
@@ -464,6 +515,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             rewards: RewardTable::from_env(env),
             fast_image: None,
             tr_image: None,
+            packed_image: None,
             pending_q: VecDeque::new(),
             pending_qmax: VecDeque::new(),
             fwd_q: FwdIndex::new(),
@@ -479,7 +531,58 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             counters,
             sink,
             fault: None,
+            quant: None,
         }
+    }
+
+    /// Switch the pipeline to a quantized stored Q-table format
+    /// (DESIGN.md §2.14): Q entries are held on `policy`'s grid, every
+    /// writeback is stochastically rounded using the dedicated
+    /// `seed_unit::QUANT` dither LFSR, and the reward ROM is snapped to
+    /// the same grid — so the reference trainer, the cycle-accurate
+    /// engine and every fast executor compute bit-identical updates.
+    /// Must be called before training starts (mid-run adoption happens
+    /// only through checkpoint restore).
+    pub fn enable_quant(&mut self, policy: QuantPolicy) {
+        assert_eq!(
+            self.stats.samples, 0,
+            "enable_quant before training starts"
+        );
+        policy.validate_for::<V>();
+        self.rewards.map_values(|v| policy.round_nearest(v));
+        // Re-encode the (still initial) memory images onto the grid so
+        // the on-grid invariant holds from the first sample.
+        for v in &mut self.q_mem {
+            *v = policy.round_nearest(*v);
+        }
+        for e in &mut self.qmax_mem {
+            e.0 = policy.round_nearest(e.0);
+        }
+        // Derived caches embed rewards / Q codes: rebuild on next use.
+        self.fast_image = None;
+        self.tr_image = None;
+        self.packed_image = None;
+        let seeds = SeedSequence::new(self.config.trainer.seed);
+        let rng = Lfsr32::new(
+            seeds.derive(seed_unit::of(self.pipeline_index, seed_unit::QUANT)),
+        );
+        self.quant = Some(QuantRt { policy, rng });
+    }
+
+    /// The quantization policy in force, if any.
+    pub fn quant(&self) -> Option<&QuantPolicy> {
+        self.quant.as_ref().map(|q| &q.policy)
+    }
+
+    /// The architectural Q-table in its packed stored form — the BRAM
+    /// image a synthesized quantized design would hold (`⌊64/b⌋` codes
+    /// per word). `None` unless quantization is enabled. The pack is
+    /// lossless because every architectural Q word is on the stored
+    /// grid.
+    pub fn packed_q_table(&self) -> Option<PackedQTable> {
+        self.quant
+            .as_ref()
+            .map(|q| PackedQTable::from_qtable(&self.q_table(), q.policy))
     }
 
     /// The configuration in force.
@@ -870,15 +973,43 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         greedy_flip: bool,
     ) {
         if let Some(probe) = self.sink.health_mut() {
+            // With a quantized table the *stored* format's rails are the
+            // saturation boundary, not the working format's: feed the
+            // probe stored codes at the stored width so rail-proximity
+            // counters fire on (say) a 4-bit table long before the
+            // 16-bit rails are near. Both values are on the stored grid
+            // here (q_sa was read from the table, q_new was quantized
+            // before this hook), so the zero-dither encode is exact. TD
+            // magnitudes are then measured in stored-grid steps.
+            let (qa, qb, bits) = match &self.quant {
+                Some(qr) => (
+                    qr.policy.quantize(q_sa, 0),
+                    qr.policy.quantize(q_new, 0),
+                    qr.policy.stored_bits(),
+                ),
+                None => (V::to_bits(q_sa), V::to_bits(q_new), V::storage_bits()),
+            };
             probe.observe_sample(
                 write_cycle,
                 s as u64,
-                V::to_bits(q_sa),
-                V::to_bits(q_new),
-                V::storage_bits(),
+                qa,
+                qb,
+                bits,
                 qmax_wrote,
                 greedy_flip,
             );
+        }
+    }
+
+    /// Stochastically round a freshly computed Q-value onto the stored
+    /// grid (identity when quantization is off). One dither draw per
+    /// retired sample, consumed in retirement order — the property that
+    /// keeps every executor on the same RNG stream.
+    #[inline(always)]
+    fn quantize_writeback(&mut self, q_new: V) -> V {
+        match &mut self.quant {
+            Some(qr) => qr.policy.apply(q_new, u64::from(qr.rng.next_u32())),
+            None => q_new,
         }
     }
 
@@ -1002,12 +1133,13 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         let c2 = c1 + d1 + 1;
         let (a_next, q_next, d2) = self.update_select(s_next, c2);
 
-        // Stage 3: Eq. (3).
+        // Stage 3: Eq. (3), then the quantizer on the writeback path.
         let q_new = self
             .one_minus_alpha
             .mul(q_sa)
             .add(self.alpha_v.mul(r))
             .add(self.alpha_gamma.mul(q_next));
+        let q_new = self.quantize_writeback(q_new);
 
         // Stage 4 (cycle c1 + stalls + 3): writeback.
         let stalls = d1 + d2;
@@ -1361,6 +1493,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             && !S::EVENTS
             && !S::HEALTH
             && self.fault.is_none()
+            && self.quant.is_none()
             && self.config.hazard == HazardMode::Forwarding
             && self.config.trainer.max_mode == MaxMode::QmaxArray
             && self.num_states < (1usize << 31);
@@ -1375,6 +1508,36 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         };
         if take_fused {
             return self.run_fast_forwarding_qmax(env, n);
+        }
+        // Quantized counterpart of the fused executor: same predicate
+        // shape, but the table must fit the [`PackedImage`] lanes (|S| ≤
+        // 2^22, stored codes ≤ 8 bits). Ineligible quantized configs
+        // fall through to the general executor (or the cycle engine),
+        // which applies the identical writeback quantizer — results stay
+        // bit-exact in every hazard mode.
+        let packed_eligible = n > 0
+            && !S::COUNTERS
+            && !S::EVENTS
+            && !S::HEALTH
+            && self.fault.is_none()
+            && self.config.hazard == HazardMode::Forwarding
+            && self.config.trainer.max_mode == MaxMode::QmaxArray
+            && self.num_states <= (1usize << 22)
+            && self
+                .quant
+                .as_ref()
+                .is_some_and(|q| q.policy.stored_bits() <= 8);
+        let take_packed = match layout {
+            FastLayout::ActionMajor | FastLayout::Interleaved => packed_eligible,
+            FastLayout::StateMajor => false,
+            FastLayout::Auto => {
+                packed_eligible
+                    && (self.packed_image.is_some()
+                        || n as u128 >= (self.num_states * self.num_actions) as u128)
+            }
+        };
+        if take_packed {
+            return self.run_fast_forwarding_qmax_packed(env, n);
         }
         // A forced Interleaved layout runs the K-way executor as a group
         // of one stream (the multi-pipeline grouping lives in
@@ -1443,12 +1606,13 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             let c2 = c1 + d1 + 1;
             let (a_next, q_next, d2) = self.fast_update_select(&mut qring, &mut mring, s_next, c2);
 
-            // Stage 3.
+            // Stage 3, then the quantizer on the writeback path.
             let q_new = self
                 .one_minus_alpha
                 .mul(q_sa)
                 .add(self.alpha_v.mul(r))
                 .add(self.alpha_gamma.mul(q_next));
+            let q_new = self.quantize_writeback(q_new);
 
             // Stage 4.
             let stalls = d1 + d2;
@@ -1819,6 +1983,262 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
         self.stats
     }
 
+    /// The packed-table counterpart of
+    /// [`run_fast_forwarding_qmax`](Self::run_fast_forwarding_qmax):
+    /// same window-register forwarding collapse, but the environment
+    /// image is the split [`PackedImage`] (4-byte transition words plus
+    /// an on-grid working-format Q column) instead of 8-byte fused
+    /// cells, and every writeback runs the stochastic rounder inline
+    /// with a dedicated unrolled dither LFSR. Bit-exact against the
+    /// general fast path and the cycle-accurate engine (the `quant`
+    /// test suite pins this): because the column only ever holds
+    /// dequantized codes, reading it directly equals
+    /// dequantize-after-load, and the raw-domain writeback rounder
+    /// ([`QuantPolicy::apply`]) is exactly the hook the other executors
+    /// run; the RNG draw order (behaviour → update → dither, per
+    /// retired sample) is identical.
+    fn run_fast_forwarding_qmax_packed<E: Environment>(&mut self, env: &E, n: u64) -> CycleStats {
+        debug_assert!(n > 0);
+        let na = self.num_actions;
+        let entry_c1 = self.next_c1;
+        let mut quant = self.quant.take().expect("packed executor requires quant");
+        let policy = quant.policy;
+
+        #[derive(Clone, Copy)]
+        enum FastPolicy {
+            Random,
+            Greedy,
+            Eps(u32),
+        }
+        let resolve = |p: Policy, role: &str| match p {
+            Policy::Random => FastPolicy::Random,
+            Policy::Greedy => FastPolicy::Greedy,
+            Policy::EpsilonGreedy { epsilon } => FastPolicy::Eps(epsilon_to_q32(epsilon)),
+            Policy::Boltzmann { .. } => panic!(
+                "Boltzmann {role} policy is not synthesizable on the QRL engine; \
+                 use the probability-table bandit engine (qtaccel_accel::bandit)"
+            ),
+        };
+        let behavior = resolve(self.config.trainer.behavior, "behaviour");
+        let update = resolve(self.config.trainer.update, "update");
+        let forward_action = self.config.trainer.forward_next_action;
+
+        // Entry protocol: identical to the fused executor.
+        let mut qw_addr = [NO_ADDR; 3]; // [0] = previous iteration
+        while let Some(p) = self.pending_q.pop_front() {
+            self.q_mem[p.addr] = p.value;
+            debug_assert!(p.commit_cycle <= entry_c1 + 2, "stall-free write bound");
+            if p.commit_cycle >= entry_c1 {
+                let slot = (entry_c1 + 2 - p.commit_cycle) as usize;
+                qw_addr[slot] = p.addr;
+            }
+        }
+        let mut mw_addr = [NO_ADDR; 3];
+        while let Some(p) = self.pending_qmax.pop_front() {
+            self.qmax_mem[p.addr] = p.value;
+            debug_assert!(p.commit_cycle <= entry_c1 + 2, "stall-free write bound");
+            if p.commit_cycle >= entry_c1 {
+                let slot = (entry_c1 + 2 - p.commit_cycle) as usize;
+                mw_addr[slot] = p.addr;
+            }
+        }
+        self.fwd_q.clear();
+        self.fwd_qmax.clear();
+
+        // Build the packed environment image on first use. Rewards were
+        // snapped to the stored grid by `enable_quant`, so their codes
+        // are exact; the Q column is resynced below on every entry.
+        if self.packed_image.is_none() {
+            let mut nr = Vec::with_capacity(self.num_states * na);
+            for s in 0..self.num_states as State {
+                for a in 0..na as Action {
+                    let t = env.transition(s, a);
+                    let rc = policy
+                        .try_code(self.rewards.get(s, a))
+                        .expect("quantized rewards are on-grid") as u32;
+                    nr.push(
+                        (t & PK_STATE_MASK)
+                            | if env.is_terminal(t) { PK_TERMINAL } else { 0 }
+                            | (rc << PK_REWARD_SHIFT),
+                    );
+                }
+            }
+            self.packed_image = Some(PackedImage {
+                nr,
+                q: self.q_mem.clone(),
+            });
+        }
+        let image = self.packed_image.as_mut().expect("image just ensured");
+        // On-grid invariant: with quantization active every committed Q
+        // word sits on the stored grid (writes are quantized, SEU
+        // strikes flip code-domain bits), so the working-format copy is
+        // exactly the dequantized stored image.
+        debug_assert!(
+            self.q_mem.iter().all(|&q| policy.try_code(q).is_some()),
+            "quantized q_mem is on-grid"
+        );
+        image.q.copy_from_slice(&self.q_mem);
+        let nr_tab = &image.nr[..];
+        let qcol = &mut image.q[..];
+
+        let mut carry = self.carry.take();
+        let mut forwards = 0u64;
+        let mut last_update_read_q = false;
+
+        let qmax = &mut self.qmax_mem[..];
+        let (one_minus_alpha, alpha_v, alpha_gamma) =
+            (self.one_minus_alpha, self.alpha_v, self.alpha_gamma);
+
+        let mut behavior_rng = Lfsr32Unrolled::new(&self.behavior_rng);
+        let mut update_rng = Lfsr32Unrolled::new(&self.update_rng);
+        let mut quant_rng = Lfsr32Unrolled::new(&quant.rng);
+
+        for _ in 0..n {
+            // Stage 1: state + behaviour action.
+            let (s, carried_a) = match carry.take() {
+                None => (env.random_start(&mut self.start_rng), None),
+                Some((s, a)) => (s, a),
+            };
+            let a = match carried_a {
+                Some(a) => a,
+                None => match behavior {
+                    FastPolicy::Random => {
+                        ((behavior_rng.next_u32() as u64 * na as u64) >> 32) as u32
+                    }
+                    FastPolicy::Greedy => {
+                        forwards += u64::from(mw_addr[0] == s as usize);
+                        qmax[s as usize].1
+                    }
+                    FastPolicy::Eps(thr) => {
+                        let x = behavior_rng.next_u32();
+                        if x < thr {
+                            ((x as u64 * na as u64) / thr as u64) as u32
+                        } else {
+                            forwards += u64::from(mw_addr[0] == s as usize);
+                            qmax[s as usize].1
+                        }
+                    }
+                },
+            };
+            let qaddr = s as usize * na + a as usize;
+            let packed = nr_tab[qaddr];
+            let q_sa = qcol[qaddr];
+            let s_next = packed & PK_STATE_MASK;
+            forwards += u64::from(
+                qaddr == qw_addr[0] || qaddr == qw_addr[1] || qaddr == qw_addr[2],
+            );
+
+            // Stage 2: update selection one cycle later.
+            let read_q2 = |rng: &mut Lfsr32Unrolled, x: Option<u32>, thr: u32| {
+                let an = match x {
+                    Some(x) => ((x as u64 * na as u64) / thr as u64) as u32,
+                    None => ((rng.next_u32() as u64 * na as u64) >> 32) as u32,
+                };
+                (an, sa_index(s_next, an, na))
+            };
+            let (a_next, q_next) = match update {
+                FastPolicy::Greedy => {
+                    last_update_read_q = false;
+                    forwards += u64::from(mw_addr[0] == s_next as usize);
+                    let (v, an) = qmax[s_next as usize];
+                    (an, v)
+                }
+                FastPolicy::Random => {
+                    let (an, addr) = read_q2(&mut update_rng, None, 0);
+                    last_update_read_q = true;
+                    forwards += u64::from(addr == qw_addr[0] || addr == qw_addr[1]);
+                    (an, qcol[addr])
+                }
+                FastPolicy::Eps(thr) => {
+                    let x = update_rng.next_u32();
+                    if x < thr {
+                        let (an, addr) = read_q2(&mut update_rng, Some(x), thr);
+                        last_update_read_q = true;
+                        forwards += u64::from(addr == qw_addr[0] || addr == qw_addr[1]);
+                        (an, qcol[addr])
+                    } else {
+                        last_update_read_q = false;
+                        forwards += u64::from(mw_addr[0] == s_next as usize);
+                        let (v, an) = qmax[s_next as usize];
+                        (an, v)
+                    }
+                }
+            };
+
+            // Stage 3: Eq. (3) in the working format (the column is
+            // already dequantized), then the stochastic rounder on the
+            // writeback path.
+            let reward = policy.dequantize::<V>(u64::from(packed >> PK_REWARD_SHIFT));
+            let q_raw = one_minus_alpha
+                .mul(q_sa)
+                .add(alpha_v.mul(reward))
+                .add(alpha_gamma.mul(q_next));
+            let q_new = policy.apply(q_raw, u64::from(quant_rng.next_u32()));
+
+            // Stage 4: writeback + Qmax RMW, then age the address windows.
+            qcol[qaddr] = q_new;
+            qw_addr[2] = qw_addr[1];
+            qw_addr[1] = qw_addr[0];
+            qw_addr[0] = qaddr;
+
+            mw_addr[2] = mw_addr[1];
+            mw_addr[1] = mw_addr[0];
+            if q_new.vcmp(qmax[s as usize].0) == core::cmp::Ordering::Greater {
+                qmax[s as usize] = (q_new, a);
+                mw_addr[0] = s as usize;
+            } else {
+                mw_addr[0] = NO_ADDR;
+            }
+
+            carry = if packed & PK_TERMINAL != 0 {
+                None
+            } else {
+                Some((s_next, if forward_action { Some(a_next) } else { None }))
+            };
+        }
+
+        // Write the live Q column (already in the working format, still
+        // on-grid) back into the committed BRAM image and resynchronise
+        // the serial RNG registers.
+        self.q_mem.copy_from_slice(qcol);
+        self.behavior_rng = behavior_rng.into_lfsr();
+        self.update_rng = update_rng.into_lfsr();
+        quant.rng = quant_rng.into_lfsr();
+        self.quant = Some(quant);
+
+        // Exit: closed-form cycle accounting and pending-queue
+        // reconstruction, line for line the fused executor's exit.
+        self.carry = carry;
+        let end_c1 = entry_c1 + n;
+        self.next_c1 = end_c1;
+        self.stats.samples += n;
+        self.stats.forwards += forwards;
+        self.stats.cycles = end_c1 - 1 + WRITE_OFFSET + 1;
+        self.drain_horizon_q = end_c1 - 1 + u64::from(last_update_read_q);
+        self.drain_horizon_qmax = end_c1 - 1 + WRITE_OFFSET;
+        for slot in (0..3).rev() {
+            if qw_addr[slot] != NO_ADDR {
+                let p = Pending {
+                    commit_cycle: end_c1 + 2 - slot as u64,
+                    addr: qw_addr[slot],
+                    value: self.q_mem[qw_addr[slot]],
+                };
+                self.pending_q.push_back(p);
+                self.fwd_q.push(p);
+            }
+            if mw_addr[slot] != NO_ADDR {
+                let p = Pending {
+                    commit_cycle: end_c1 + 2 - slot as u64,
+                    addr: mw_addr[slot],
+                    value: self.qmax_mem[mw_addr[slot]],
+                };
+                self.pending_qmax.push_back(p);
+                self.fwd_qmax.push(p);
+            }
+        }
+        self.stats
+    }
+
     /// Whether a run of `n` samples may take the interleaved
     /// multi-stream executor: the fused-slab predicate (uninstrumented,
     /// fault-free, forwarding hazards, Qmax-array maxima) plus a ≤32-bit
@@ -1830,6 +2250,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             && !S::EVENTS
             && !S::HEALTH
             && self.fault.is_none()
+            && self.quant.is_none()
             && self.config.hazard == HazardMode::Forwarding
             && self.config.trainer.max_mode == MaxMode::QmaxArray
             && self.num_states < (1usize << 31)
@@ -1992,6 +2413,13 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
     /// experiment.
     pub fn inject_q_bit_flip(&mut self, s: State, a: Action, bit: u32) {
         let idx = sa_index(s, a, self.num_actions);
+        // Under a quantized table the physical cell is `stored_bits`
+        // wide: fold the requested bit into the code domain so the
+        // struck word stays representable on the stored grid.
+        let bit = match &self.quant {
+            Some(qr) => (bit % qr.policy.stored_bits()) + qr.policy.shift(),
+            None => bit,
+        };
         self.q_mem[idx] = self.q_mem[idx].flip_bit(bit);
     }
 
@@ -2075,7 +2503,15 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
     /// out-of-line so the fault-free loops stay tight.
     fn fault_tick_active(&mut self) {
         let mut f = self.fault.take().expect("caller checked is_some");
-        let width = V::storage_bits();
+        // With a quantized table the BRAM cell holds `stored_bits` code
+        // bits, so strikes draw over the code domain and land at raw bit
+        // `code_bit + shift` — which keeps the struck word on the stored
+        // grid (the on-grid invariant the packed paths rely on) and
+        // models the physically narrower word.
+        let (width, shift) = match &self.quant {
+            Some(qr) => (qr.policy.stored_bits(), qr.policy.shift()),
+            None => (V::storage_bits(), 0),
+        };
         // Strikes land in the *committed* BRAM images — an in-flight
         // pipeline value is flip-flop state, not a memory cell, and a
         // pending write that later commits over a struck word rewrites
@@ -2088,7 +2524,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                 &mut f.stats,
                 f.config.ecc,
                 addr,
-                bit,
+                bit + shift,
             ) {
                 self.q_mem[addr] = v;
             }
@@ -2105,7 +2541,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                 &mut f.stats,
                 f.config.ecc,
                 addr,
-                bit,
+                bit + shift,
             ) {
                 self.qmax_mem[addr].0 = v;
             }
@@ -2259,6 +2695,19 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                 for word in words {
                     w.push(word);
                 }
+            }
+        }
+        // Quantized-storage section (trailing, same absent-tag scheme:
+        // readers of older checkpoints see it absent). The Q/Qmax images
+        // above stay working-format words — they are on the stored grid,
+        // so the round trip is exact and unquantized readers still parse.
+        match &self.quant {
+            None => w.push(0),
+            Some(qr) => {
+                w.push(1);
+                w.push(qr.policy.stored_bits() as u64);
+                w.push(qr.policy.shift() as u64);
+                w.push(qr.rng.peek() as u64);
             }
         }
         w.finish()
@@ -2428,6 +2877,32 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             }
             Some(probe)
         };
+        // Quantized-storage section. Checkpoints written before
+        // quantization existed end here — treat that as quant-absent.
+        // Validated manually (typed error, not a panic) before commit.
+        let quant = if r.remaining() == 0 || r.next()? == 0 {
+            None
+        } else {
+            let stored_bits = r.next()? as u32;
+            let shift = r.next()? as u32;
+            let w = V::storage_bits();
+            let valid = (2..=32).contains(&stored_bits)
+                && shift < 32
+                && stored_bits < w
+                && stored_bits + shift <= w;
+            if !valid {
+                return Err(CheckpointError::Mismatch {
+                    field: "quant policy",
+                    expected: format!("stored_bits in [2, {w}), stored_bits + shift <= {w}"),
+                    found: format!("stored_bits {stored_bits}, shift {shift}"),
+                });
+            }
+            let rng = Lfsr32::new(r.next()? as u32);
+            Some(QuantRt {
+                policy: QuantPolicy::new(stored_bits, shift),
+                rng,
+            })
+        };
 
         // Commit.
         self.stats = stats;
@@ -2451,6 +2926,23 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             self.fwd_qmax.push(p);
         }
         self.fault = fault;
+        // Adopt the checkpoint's quantization state wholesale. A
+        // quant-absent checkpoint restored into a quant-enabled pipeline
+        // (or vice versa) is a configuration mismatch like restoring
+        // under a different trainer config — well-defined (the restored
+        // state simply runs under the restored quant mode) but not a
+        // bit-exact resume; matching configs is the caller's contract.
+        if let Some(qr) = &quant {
+            // Rewards are not checkpointed: snap them to the restored
+            // grid (idempotent when they already are).
+            let policy = qr.policy;
+            self.rewards.map_values(|v| policy.round_nearest(v));
+        }
+        self.quant = quant;
+        // Derived caches embed rewards / stored codes.
+        self.fast_image = None;
+        self.tr_image = None;
+        self.packed_image = None;
         if S::HEALTH {
             if let Some(slot) = self.sink.health_mut() {
                 match health {

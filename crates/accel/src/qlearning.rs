@@ -11,14 +11,14 @@ use crate::config::AccelConfig;
 use crate::fault::{FaultConfig, FaultStats};
 use crate::pipeline::{AccelPipeline, FastLayout};
 use crate::resources::{
-    analyze, with_health_probes, with_histogram_regfile, with_perf_regfile, with_secded,
+    analyze_stored, with_health_probes, with_histogram_regfile, with_perf_regfile, with_secded,
     AccelResources, EngineKind,
 };
 use qtaccel_core::policy::Policy;
-use qtaccel_core::qtable::{QTable, QmaxTable};
+use qtaccel_core::qtable::{PackedQTable, QTable, QmaxTable};
 use qtaccel_core::trainer::Transition;
 use qtaccel_envs::{Action, Environment};
-use qtaccel_fixed::QValue;
+use qtaccel_fixed::{QValue, QuantPolicy};
 use qtaccel_hdl::pipeline::CycleStats;
 use qtaccel_telemetry::{CounterBank, NullSink, TraceSink};
 use std::path::Path;
@@ -144,6 +144,25 @@ impl<V: QValue, S: TraceSink> QLearningAccel<V, S> {
         self.pipe.enable_faults(config);
     }
 
+    /// Switch to a quantized stored Q-table format — entries held on
+    /// `policy`'s grid, writebacks stochastically rounded (see
+    /// `AccelPipeline::enable_quant` and DESIGN.md §2.14). Must be
+    /// called before training starts.
+    pub fn enable_quant(&mut self, policy: QuantPolicy) {
+        self.pipe.enable_quant(policy);
+    }
+
+    /// The quantization policy in force, if any.
+    pub fn quant(&self) -> Option<&QuantPolicy> {
+        self.pipe.quant()
+    }
+
+    /// The learned Q-table in its packed stored form (`None` unless
+    /// quantization is enabled; see `AccelPipeline::packed_q_table`).
+    pub fn packed_q_table(&self) -> Option<PackedQTable> {
+        self.pipe.packed_q_table()
+    }
+
     /// The fault configuration in force, if any.
     pub fn fault_config(&self) -> Option<FaultConfig> {
         self.pipe.fault_config()
@@ -175,10 +194,18 @@ impl<V: QValue, S: TraceSink> QLearningAccel<V, S> {
     /// event stream, so it only exists when that stream does); with
     /// telemetry off the report is the uninstrumented baseline.
     pub fn resources(&self) -> AccelResources {
-        let res = analyze(
+        // A quantized table narrows the stored word everywhere the
+        // model prices memory: the base tables, the health probe's rail
+        // comparators, and the SECDED codewords all see `stored_bits`.
+        let stored_bits = self
+            .pipe
+            .quant()
+            .map_or(V::storage_bits(), |p| p.stored_bits());
+        let res = analyze_stored(
             self.pipe.num_states(),
             self.pipe.num_actions(),
             V::storage_bits(),
+            stored_bits,
             EngineKind::QLearning,
             self.pipe.config(),
             self.pipe.stats().samples_per_cycle().max(
@@ -201,17 +228,19 @@ impl<V: QValue, S: TraceSink> QLearningAccel<V, S> {
                 res,
                 self.pipe.config(),
                 self.pipe.num_states(),
-                V::storage_bits(),
+                stored_bits,
             );
         }
-        // ECC-protected memories carry their codecs and widened words.
+        // ECC-protected memories carry their codecs and widened words
+        // (over the stored width — narrow payloads pay proportionally
+        // more check bits; see the resources test suite).
         if self.pipe.fault_config().is_some_and(|c| c.ecc) {
             res = with_secded(
                 res,
                 self.pipe.config(),
                 self.pipe.num_states(),
                 self.pipe.num_actions(),
-                V::storage_bits(),
+                stored_bits,
             );
         }
         res

@@ -42,27 +42,64 @@ pub fn addr_bits(n: usize) -> u32 {
     }
 }
 
-/// Structural resource report for one pipeline instance.
+/// Structural resource report for one pipeline instance storing
+/// full-width values (`stored == working`); see
+/// [`resource_report_stored`] for quantized tables.
 pub fn resource_report(
     num_states: usize,
     num_actions: usize,
     value_bits: u32,
     kind: EngineKind,
 ) -> ResourceReport {
+    resource_report_stored(num_states, num_actions, value_bits, value_bits, kind)
+}
+
+/// Structural resource report for a pipeline whose Q and reward tables
+/// hold `stored_bits`-wide quantized codes while the datapath computes
+/// at `value_bits` (DESIGN.md §2.14). With `stored_bits == value_bits`
+/// this is exactly [`resource_report`].
+///
+/// Where the narrowing shows up:
+///
+/// * **BRAM** — all three tables store codes: Q and R at `stored_bits`,
+///   the Qmax array at `stored_bits + ⌈log₂|A|⌉` (its value field is on
+///   the same grid, and the comparator is monotone over codes). This is
+///   the tentpole saving — a 4-bit table costs a quarter of the 16-bit
+///   BRAM at the same |S|·|A|.
+/// * **DSP** — the stage-1 `α·γ` coefficient multiply stays at the
+///   working width, but the three stage-3 multiplies each see one
+///   stored-width operand (dequantize is a wire shift, so the products
+///   narrow with the table).
+/// * **FF/LUT** — the quantizer adds its dither LFSR (32-bit register +
+///   leap fabric), the saturating rounder, and the read-side
+///   sign-extend/shift muxes; a small constant next to the skeleton.
+pub fn resource_report_stored(
+    num_states: usize,
+    num_actions: usize,
+    value_bits: u32,
+    stored_bits: u32,
+    kind: EngineKind,
+) -> ResourceReport {
+    assert!(
+        stored_bits <= value_bits,
+        "stored width {stored_bits} must not exceed the working width {value_bits}"
+    );
     let s = num_states as u64;
     let sa = (num_states * num_actions) as u64;
     let abits = addr_bits(num_actions);
     let sbits = addr_bits(num_states);
 
-    // The four datapath multipliers.
-    let dsp = 4 * dsp_slices_for_mul(value_bits);
+    // The four datapath multipliers: one coefficient multiply at the
+    // working width, three operand multiplies narrowed with the table.
+    let dsp = dsp_slices_for_mul(value_bits) + 3 * dsp_slices_for_mul(stored_bits);
 
-    // Q table + reward table + Qmax array. The bandit engine replaces the
-    // reward table with LFSR samplers (§VII-B) and keeps a single-state
-    // Q/probability row, so its table costs collapse.
+    // Q table + reward table + Qmax array, all at the stored width. The
+    // bandit engine replaces the reward table with LFSR samplers (§VII-B)
+    // and keeps a single-state Q/probability row, so its table costs
+    // collapse.
     let bram36 = match kind {
-        EngineKind::Bandit => blocks_for(sa, value_bits) + blocks_for(s, value_bits + abits),
-        _ => 2 * blocks_for(sa, value_bits) + blocks_for(s, value_bits + abits),
+        EngineKind::Bandit => blocks_for(sa, stored_bits) + blocks_for(s, stored_bits + abits),
+        _ => 2 * blocks_for(sa, stored_bits) + blocks_for(s, stored_bits + abits),
     };
 
     // Pipeline skeleton: 4 stages of state/action/value registers plus
@@ -76,13 +113,24 @@ pub fn resource_report(
         EngineKind::Sarsa => (96 + 500, 800),
         EngineKind::Bandit => (12 * 32 + 400, 1200), // Irwin-Hall LFSR bank
     };
+    // Quantizer unit (only when the table actually narrows): dither
+    // LFSR register + leap fabric, the saturating rounder's adder and
+    // rail clamps, and the read-side sign-extend shifters.
+    let (quant_ff, quant_lut) = if stored_bits < value_bits {
+        (
+            32 + 2 * stored_bits as u64,
+            150 + 4 * value_bits as u64,
+        )
+    } else {
+        (0, 0)
+    };
 
     ResourceReport {
         dsp,
         bram36,
         uram: 0,
-        lut: base_lut + extra_lut,
-        ff: base_ff + extra_ff,
+        lut: base_lut + extra_lut + quant_lut,
+        ff: base_ff + extra_ff + quant_ff,
     }
 }
 
@@ -214,7 +262,34 @@ pub fn analyze(
     config: &AccelConfig,
     samples_per_cycle: f64,
 ) -> AccelResources {
-    let report = resource_report(num_states, num_actions, value_bits, kind);
+    analyze_stored(
+        num_states,
+        num_actions,
+        value_bits,
+        value_bits,
+        kind,
+        config,
+        samples_per_cycle,
+    )
+}
+
+/// [`analyze`] for a quantized-table design point: resources come from
+/// [`resource_report_stored`], and the fmax/throughput/power models run
+/// over that narrowed report (less BRAM → less BRAM power; the clock
+/// model depends only on |S| and the device, so fmax is unchanged —
+/// which is why the MS/s/W win in the formats experiment is a power
+/// win, not a clock win).
+#[allow(clippy::too_many_arguments)]
+pub fn analyze_stored(
+    num_states: usize,
+    num_actions: usize,
+    value_bits: u32,
+    stored_bits: u32,
+    kind: EngineKind,
+    config: &AccelConfig,
+    samples_per_cycle: f64,
+) -> AccelResources {
+    let report = resource_report_stored(num_states, num_actions, value_bits, stored_bits, kind);
     let utilization = report.utilization(&config.device);
     let fmax_mhz = config.fmax.fmax_mhz(&config.device, num_states as u64);
     AccelResources {
@@ -363,6 +438,75 @@ mod tests {
         assert_eq!(ecc.report.dsp, base.report.dsp, "no multipliers in a codec");
         assert_eq!(ecc.fmax_mhz, base.fmax_mhz, "codecs pipeline cleanly");
         assert!(ecc.power_mw > base.power_mw, "more fabric, more power");
+    }
+
+    /// The satellite-4 headline: stored-width narrowing against the
+    /// 16-bit baseline at the paper's largest grid (|S|·|A| = 2 M).
+    #[test]
+    fn stored_width_narrows_bram_and_prices_the_quantizer() {
+        let w16 = resource_report(262_144, 8, 16, EngineKind::QLearning);
+        let q8 = resource_report_stored(262_144, 8, 16, 8, EngineKind::QLearning);
+        let q6 = resource_report_stored(262_144, 8, 16, 6, EngineKind::QLearning);
+        let q4 = resource_report_stored(262_144, 8, 16, 4, EngineKind::QLearning);
+        // BRAM: 16-bit entries hit the 2K×18 aspect, 8-bit the 4K×9,
+        // 4-bit the 8K×4 — each narrowing step halves the table blocks.
+        assert!(q8.bram36 < w16.bram36, "{} vs {}", q8.bram36, w16.bram36);
+        assert!(q6.bram36 <= q8.bram36, "{} vs {}", q6.bram36, q8.bram36);
+        assert!(q4.bram36 < q6.bram36, "{} vs {}", q4.bram36, q6.bram36);
+        assert!(
+            w16.bram36 >= 2 * q8.bram36 - 2,
+            "8-bit storage should roughly halve the BRAM: {} vs {}",
+            w16.bram36,
+            q8.bram36
+        );
+        // DSP: ≤18-bit multiplies tile one slice each, so the count
+        // stays at the paper's flat 4 — the win is memory, not DSPs.
+        assert_eq!(q8.dsp, 4);
+        assert_eq!(q4.dsp, 4);
+        // The quantizer unit (dither LFSR + rounder) costs a little
+        // fabric; full-width storage pays none of it.
+        assert!(q8.ff > w16.ff);
+        assert!(q8.lut > w16.lut);
+        // stored == working is exactly the unquantized report.
+        assert_eq!(
+            resource_report_stored(1024, 8, 16, 16, EngineKind::QLearning),
+            resource_report(1024, 8, 16, EngineKind::QLearning)
+        );
+    }
+
+    /// SECDED over narrowed words: the check-bit *ratio* grows as the
+    /// payload shrinks (4 data bits carry 4 check bits — 100 %
+    /// overhead), so ECC-protected quantized tables keep less of the
+    /// density win than unprotected ones. The engines price this by
+    /// passing the stored width into [`with_secded`].
+    #[test]
+    fn secded_over_narrowed_words_is_priced() {
+        use qtaccel_hdl::fault::Secded;
+        // Check-bit counts (Hamming + overall parity).
+        assert_eq!(Secded::new(16).code_bits(), 22); // 6/16 = 37.5 %
+        assert_eq!(Secded::new(8).code_bits(), 13); // 5/8 = 62.5 %
+        assert_eq!(Secded::new(4).code_bits(), 8); // 4/4 = 100 %
+        let cfg = crate::config::AccelConfig::default();
+        for (stored, abits) in [(16u32, 3u32), (8, 3), (4, 3)] {
+            let base = analyze_stored(262_144, 8, 16, stored, EngineKind::QLearning, &cfg, 1.0);
+            let ecc = with_secded(base, &cfg, 262_144, 8, stored);
+            assert!(
+                ecc.report.bram36 > base.report.bram36,
+                "stored {stored}+{abits}: codeword widening must cost BRAM"
+            );
+        }
+        // Relative ECC overhead is worst at the narrowest width.
+        let over = |stored: u32| {
+            let base = analyze_stored(262_144, 8, 16, stored, EngineKind::QLearning, &cfg, 1.0);
+            let ecc = with_secded(base, &cfg, 262_144, 8, stored);
+            ecc.report.bram36 as f64 / base.report.bram36 as f64
+        };
+        assert!(
+            over(4) > over(16),
+            "narrow payloads pay proportionally more for SECDED: {} vs {}",
+            over(4),
+            over(16)
+        );
     }
 
     #[test]

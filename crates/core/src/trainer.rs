@@ -23,7 +23,7 @@
 use crate::policy::Policy;
 use crate::qtable::{MaxMode, QTable, QmaxTable};
 use qtaccel_envs::{Action, Environment, RewardTable, State};
-use qtaccel_fixed::QValue;
+use qtaccel_fixed::{QValue, QuantPolicy};
 use qtaccel_hdl::lfsr::Lfsr32;
 use qtaccel_hdl::rng::{RngSource, SeedSequence};
 
@@ -38,6 +38,9 @@ pub mod seed_unit {
     pub const UPDATE: u64 = 2;
     /// Qmax-array action-field initialization stream (BRAM init file).
     pub const QMAX_INIT: u64 = 3;
+    /// Stochastic-rounding dither stream for quantized Q-table writeback
+    /// (DESIGN.md §2.14) — one draw per retired sample.
+    pub const QUANT: u64 = 4;
     /// Units reserved per pipeline (multi-pipeline configs offset by
     /// `pipeline_index * STRIDE`).
     pub const STRIDE: u64 = 8;
@@ -162,6 +165,9 @@ pub struct RefTrainer<V, E> {
     update_rng: Lfsr32,
     // (current state, forwarded action) carried between iterations.
     carry: Option<(State, Option<Action>)>,
+    // Stored-format quantization of the Q-table (DESIGN.md §2.14): the
+    // policy plus the dedicated stochastic-rounding LFSR unit.
+    quant: Option<(QuantPolicy, Lfsr32)>,
     samples: u64,
 }
 
@@ -191,9 +197,38 @@ impl<V: QValue, E: Environment> RefTrainer<V, E> {
             behavior_rng: Lfsr32::new(seeds.derive(seed_unit::BEHAVIOR)),
             update_rng: Lfsr32::new(seeds.derive(seed_unit::UPDATE)),
             carry: None,
+            quant: None,
             samples: 0,
             env,
         }
+    }
+
+    /// Switch the trainer to a quantized stored Q-table format
+    /// (DESIGN.md §2.14): every writeback is stochastically rounded onto
+    /// `policy`'s grid using a dedicated LFSR dither unit, and the reward
+    /// ROM is snapped to the same grid so all executors read identical
+    /// on-grid rewards. Must be called before training starts.
+    pub fn enable_quant(&mut self, policy: QuantPolicy) {
+        assert_eq!(self.samples, 0, "enable_quant before training starts");
+        policy.validate_for::<V>();
+        self.rewards.map_values(|v| policy.round_nearest(v));
+        // Q and Qmax are still zero-initialized; zero is on every grid,
+        // but re-encode anyway so a poked initial table stays consistent.
+        for s in 0..self.q.num_states() as State {
+            for a in 0..self.q.num_actions() as Action {
+                self.q.set(s, a, policy.round_nearest(self.q.get(s, a)));
+            }
+            let (v, a) = self.qmax.get(s);
+            self.qmax.poke(s, policy.round_nearest(v), a);
+        }
+        let seeds = SeedSequence::new(self.config.seed);
+        let rng = Lfsr32::new(seeds.derive(seed_unit::of(0, seed_unit::QUANT)));
+        self.quant = Some((policy, rng));
+    }
+
+    /// The quantization policy in force, if any.
+    pub fn quant(&self) -> Option<&QuantPolicy> {
+        self.quant.as_ref().map(|(p, _)| p)
     }
 
     /// The environment being trained on.
@@ -313,6 +348,13 @@ impl<V: QValue, E: Environment> RefTrainer<V, E> {
             .mul(q_sa)
             .add(self.alpha_v.mul(r))
             .add(self.alpha_gamma.mul(q_next));
+
+        // Quantized writeback: stochastic rounding onto the stored grid,
+        // one dither draw per retired sample (DESIGN.md §2.14).
+        let q_new = match &mut self.quant {
+            Some((policy, rng)) => policy.apply(q_new, u64::from(rng.next_u32())),
+            None => q_new,
+        };
 
         // Stage 4: writeback + Qmax monotone update.
         self.q.set(s, a, q_new);

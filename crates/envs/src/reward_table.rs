@@ -53,6 +53,18 @@ impl<V: QValue> RewardTable<V> {
         &self.values
     }
 
+    /// Re-encode every entry in place.
+    ///
+    /// The quantized-table layer uses this to snap the reward ROM onto the
+    /// stored format's grid at enable time, so the reference trainer, the
+    /// cycle-accurate pipeline and the packed fast path all read
+    /// bit-identical (on-grid) rewards.
+    pub fn map_values(&mut self, mut f: impl FnMut(V) -> V) {
+        for v in &mut self.values {
+            *v = f(*v);
+        }
+    }
+
     /// Capacity in bits when stored at this format's width.
     pub fn capacity_bits(&self) -> u64 {
         self.values.len() as u64 * V::storage_bits() as u64

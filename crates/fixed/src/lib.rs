@@ -30,10 +30,12 @@
 
 mod fixed;
 pub mod lanes;
+pub mod quant;
 mod storage;
 mod value;
 
 pub use fixed::Fixed;
+pub use quant::QuantPolicy;
 pub use storage::Storage;
 pub use value::QValue;
 

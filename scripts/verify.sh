@@ -9,7 +9,10 @@
 # K in {2,4,8}, plus fault-runtime / instrumented-sink fallbacks), and
 # the training-health suite (health-off bit-identity, engine-exact
 # probes, checkpointed probe state, the ECC-off divergence watchdog
-# proof, crash-dump JSONL round-trip), and
+# proof, crash-dump JSONL round-trip), the quantized stored-format
+# suite (4/6/8-bit bit-exactness across executors x hazard modes,
+# golden-reference transitivity, on-grid invariants under faults,
+# checkpoint adoption, stored-rail health probes), and
 # two instrumented quick benches that fail if (a) the
 # disabled-telemetry (NullSink) fast path or (b) the scale-out
 # executor's aggregate rate regressed >5% against the tracked
@@ -21,7 +24,10 @@
 # row: >5% regression vs the committed interleaved baseline fails, as
 # does a paired interleaved/fast ratio (both sides re-measured
 # back-to-back, retried, so host noise correlates out) below the
-# documented noise floor.
+# documented noise floor, and guards the packed fast_q8 row against its
+# committed baseline. The format sweep's --check run enforces the 8-bit
+# stored-format quality gate (q8s2 >= 99% of the 16-bit greedy-policy
+# quality at the horizon-covered anchor).
 # Quick runs write results/BENCH_*_quick.json; the tracked root
 # baselines are only refreshed by full (no --quick) runs.
 set -euo pipefail
@@ -57,6 +63,9 @@ cargo test -q --release --offline -p qtaccel-accel --test checkpoint
 echo "== interleaved-executor bit-exactness suite (release) =="
 cargo test -q --release --offline -p qtaccel-accel --test interleave
 
+echo "== quantized stored-format suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test quant
+
 echo "== cargo clippy (offline, deny warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
@@ -68,5 +77,8 @@ cargo run --release --offline -p qtaccel-bench --bin bench_scaling -- --quick --
 
 echo "== bench_faults --quick (protection-ladder gate) =="
 cargo run --release --offline -p qtaccel-bench --bin bench_faults -- --quick
+
+echo "== format_sweep --quick --check (8-bit quality gate) =="
+cargo run --release --offline -p qtaccel-bench --bin format_sweep -- --quick --check
 
 echo "verify: OK"
