@@ -18,6 +18,7 @@ use std::sync::{Arc, Mutex};
 use crate::checkpoint::CheckpointError;
 use crate::config::{AccelConfig, HazardMode};
 use crate::executor::{chunk_samples, ShardJob, ShardedExecutor};
+use crate::fault::FaultConfig;
 use crate::pipeline::{AccelPipeline, FastLayout};
 use crate::resources::{analyze, resource_report, AccelResources, EngineKind};
 use qtaccel_core::policy::Policy;
@@ -28,7 +29,9 @@ use qtaccel_fixed::QValue;
 use qtaccel_hdl::lfsr::Lfsr32;
 use qtaccel_hdl::pipeline::CycleStats;
 use qtaccel_hdl::rng::{epsilon_greedy_draw, epsilon_to_q32, RngSource, SeedSequence};
-use qtaccel_telemetry::{CounterBank, CounterId, NullSink, TraceSink};
+use qtaccel_telemetry::{
+    ActiveSpan, CounterBank, CounterId, NullSink, SpanContext, SpanTracer, TraceSink,
+};
 
 const WRITE_OFFSET: u64 = 3;
 const FILL: u64 = 3;
@@ -507,6 +510,16 @@ pub struct BatchReport {
     /// sinks). Zero for unbounded and no-op sinks — a nonzero value
     /// flags that the retained trace is *not* the complete run.
     pub dropped_iterations: u64,
+    /// Spans evicted from the attached [`SpanTracer`]'s bounded ring as
+    /// of batch completion (cumulative, like `dropped_iterations`).
+    /// Zero with no tracer attached — nonzero flags that the retained
+    /// span tree is *not* the complete batch.
+    pub dropped_spans: u64,
+    /// The batch's root span context, when a tracer was attached: the
+    /// trace id every chunk/checkpoint/scrub span of this batch nests
+    /// under, and the parent to tag follow-on events (e.g. watchdog
+    /// alerts) into the same trace.
+    pub trace: Option<SpanContext>,
 }
 
 /// Where [`train_batch_durable`] keeps shard `i`'s checkpoint inside its
@@ -546,6 +559,9 @@ pub struct IndependentPipelines<V, S: TraceSink = NullSink> {
     pipes: Vec<AccelPipeline<V, S>>,
     /// `None` = the process-global pool.
     executor: Option<Arc<ShardedExecutor>>,
+    /// `None` = span tracing off (the default; batch paths stay on the
+    /// uninstrumented fast lane, costing one `Option` test per chunk).
+    tracer: Option<Arc<SpanTracer>>,
 }
 
 impl<V: QValue> IndependentPipelines<V> {
@@ -560,6 +576,7 @@ impl<V: QValue> IndependentPipelines<V> {
                 .map(|(i, e)| AccelPipeline::new(e, config, i as u64))
                 .collect(),
             executor: None,
+            tracer: None,
         }
     }
 }
@@ -579,6 +596,7 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
                 .map(|(i, (e, sink))| AccelPipeline::with_sink(e, config, i as u64, sink))
                 .collect(),
             executor: None,
+            tracer: None,
         }
     }
 
@@ -588,6 +606,34 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
     pub fn with_executor(mut self, executor: Arc<ShardedExecutor>) -> Self {
         self.executor = Some(executor);
         self
+    }
+
+    /// Attach a structured span tracer: the batch entry points
+    /// ([`train_batch`](Self::train_batch) and friends) start one trace
+    /// per call with per-shard chunk spans (plus checkpoint and scrub
+    /// children where those happen), all deterministically identified —
+    /// same seed and batch plan give bit-identical span trees at any
+    /// worker count. Clones share the tracer.
+    pub fn with_tracer(mut self, tracer: Arc<SpanTracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The attached span tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<SpanTracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Spans evicted from the attached tracer's bounded ring so far
+    /// (see [`BatchReport::dropped_spans`]). Zero with no tracer.
+    pub fn dropped_spans(&self) -> u64 {
+        self.tracer.as_ref().map_or(0, |t| t.dropped_spans())
+    }
+
+    /// Arm fault injection on pipeline `i` (a forwarding convenience
+    /// for batch tests that want scrub activity on specific shards).
+    pub fn enable_faults(&mut self, i: usize, config: FaultConfig) {
+        self.pipes[i].enable_faults(config);
     }
 
     /// Worker threads in the executor training calls run on.
@@ -625,23 +671,42 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
     /// Blocks until the batch completes; per-shard state (tables, stats,
     /// counter banks) is written lock-free by the owning shard and read
     /// here only after the join.
-    fn drive<E, F>(&mut self, envs: &[E], budgets: &[u64], run: F) -> CycleStats
+    ///
+    /// When a tracer is attached *and* `ctx` carries a batch root, every
+    /// chunk re-entry is wrapped in a `chunk` span (lane = shard index,
+    /// ordinal = chunk number) parented under the root — span context
+    /// crosses the executor's worker threads, so one trace covers the
+    /// whole batch — and a shard whose scrub engine advanced during the
+    /// chunk gets a `scrub` instant child. The chunk's own context is
+    /// handed to `run` so deeper work (checkpoint writes) can nest under
+    /// it. With no tracer the entire block is one `Option` test per
+    /// chunk re-entry — chunks are ≥ 2^16 samples, so the fast paths
+    /// are untouched.
+    fn drive<E, F>(
+        &mut self,
+        envs: &[E],
+        budgets: &[u64],
+        ctx: Option<SpanContext>,
+        run: F,
+    ) -> CycleStats
     where
         E: Environment + Sync,
         S: Send,
-        F: Fn(usize, &mut AccelPipeline<V, S>, &E, u64) + Sync,
+        F: Fn(usize, &mut AccelPipeline<V, S>, &E, u64, Option<SpanContext>) + Sync,
     {
         assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
         assert_eq!(budgets.len(), self.pipes.len(), "one budget per pipeline");
         if budgets.iter().all(|&b| b == 0) {
             return self.stats();
         }
-        // Clone the Arc so the pool reference cannot alias `self.pipes`.
+        // Clone the Arcs so the pool/tracer references cannot alias
+        // `self.pipes`.
         let owned = self.executor.clone();
         let pool: &ShardedExecutor = match owned.as_deref() {
             Some(pool) => pool,
             None => ShardedExecutor::global(),
         };
+        let tracing = self.tracer.clone().zip(ctx);
         let run = &run;
         let shards: Vec<ShardJob<'_>> = self
             .pipes
@@ -653,9 +718,38 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             .map(|(i, ((pipe, env), &budget))| {
                 let chunk = chunk_samples(budget, pipe.num_states(), pipe.num_actions());
                 let mut left = budget;
+                let mut chunk_idx = 0u64;
+                let tracing = tracing.clone();
                 Box::new(move || {
                     let take = chunk.min(left);
-                    run(i, pipe, env, take);
+                    match &tracing {
+                        Some((tracer, root)) => {
+                            let span = tracer.begin(
+                                root.trace,
+                                Some(root.span),
+                                "chunk",
+                                i as u32,
+                                chunk_idx,
+                            );
+                            let scrub_before =
+                                pipe.fault_stats().map(|f| f.scrub_rounds).unwrap_or(0);
+                            run(i, pipe, env, take, Some(span.context()));
+                            let scrub_after =
+                                pipe.fault_stats().map(|f| f.scrub_rounds).unwrap_or(0);
+                            if scrub_after > scrub_before {
+                                tracer.instant(
+                                    root.trace,
+                                    Some(span.context().span),
+                                    "scrub",
+                                    i as u32,
+                                    scrub_after,
+                                );
+                            }
+                            tracer.end(span);
+                        }
+                        None => run(i, pipe, env, take, None),
+                    }
+                    chunk_idx += 1;
                     left -= take;
                     left > 0
                 }) as ShardJob<'_>
@@ -680,7 +774,7 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         S: Send,
     {
         let budgets = vec![samples_each; self.pipes.len()];
-        self.drive(envs, &budgets, |_, pipe, env, n| {
+        self.drive(envs, &budgets, None, |_, pipe, env, n, _| {
             pipe.run_samples(env, n);
         })
     }
@@ -697,7 +791,7 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         S: Send,
     {
         let budgets = vec![samples_each; self.pipes.len()];
-        self.drive(envs, &budgets, |_, pipe, env, n| {
+        self.drive(envs, &budgets, None, |_, pipe, env, n, _| {
             pipe.run_samples_fast(env, n);
         })
     }
@@ -730,6 +824,23 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             pipe.run_samples_fast(env, samples_each);
         }
         self.stats()
+    }
+
+    /// Open a batch root span when a tracer is attached: a fresh trace
+    /// whose id derives from the tracer seed and trace ordinal, with
+    /// the batch total as the root span's ordinal — fully deterministic
+    /// for a fixed seed and call sequence. The caller ends the returned
+    /// active span after the batch joins.
+    fn begin_batch_root(
+        &self,
+        name: &'static str,
+        total_samples: u64,
+    ) -> Option<(Arc<SpanTracer>, ActiveSpan)> {
+        self.tracer.clone().map(|t| {
+            let trace = t.start_trace();
+            let root = t.begin(trace, None, name, 0, total_samples);
+            (t, root)
+        })
     }
 
     /// Sharded batch training: split a *total* sample budget across the
@@ -771,15 +882,22 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             });
             budgets.push(samples);
         }
+        let root = self.begin_batch_root("train_batch", total_samples);
+        let ctx = root.as_ref().map(|(_, active)| active.context());
         let plan = &shards;
-        let stats = self.drive(envs, &budgets, |i, pipe, env, n| {
+        let stats = self.drive(envs, &budgets, ctx, |i, pipe, env, n, _| {
             pipe.run_samples_fast_planned(env, n, plan[i].layout);
         });
+        if let Some((tracer, active)) = root {
+            tracer.end(active);
+        }
         BatchReport {
             stats,
             workers: self.workers(),
             shards,
             dropped_iterations: self.dropped_iterations(),
+            dropped_spans: self.dropped_spans(),
+            trace: ctx,
         }
     }
 
@@ -838,19 +956,26 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             });
             budgets.push(samples);
         }
+        let root = self.begin_batch_root("train_batch", total_samples);
+        let ctx = root.as_ref().map(|(_, active)| active.context());
         let stats = if layout == FastLayout::Interleaved {
-            self.drive_interleaved_groups(envs, &budgets, streams)
+            self.drive_interleaved_groups(envs, &budgets, streams, ctx)
         } else {
             let plan = &shards;
-            self.drive(envs, &budgets, |i, pipe, env, n| {
+            self.drive(envs, &budgets, ctx, |i, pipe, env, n, _| {
                 pipe.run_samples_fast_planned(env, n, plan[i].layout);
             })
         };
+        if let Some((tracer, active)) = root {
+            tracer.end(active);
+        }
         BatchReport {
             stats,
             workers: self.workers(),
             shards,
             dropped_iterations: self.dropped_iterations(),
+            dropped_spans: self.dropped_spans(),
+            trace: ctx,
         }
     }
 
@@ -860,11 +985,16 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
     /// can still interleave G ≫ C groups. Per-pipeline sample order is
     /// strictly sequential (the group loop round-robins *within* a
     /// chunk), so results stay bit-identical at any worker count.
+    ///
+    /// With a tracer and a batch root context, each group re-entry is a
+    /// `chunk` span whose lane is the group's first pipeline index —
+    /// the deterministic group key, whatever the worker count.
     fn drive_interleaved_groups<E>(
         &mut self,
         envs: &[E],
         budgets: &[u64],
         streams: usize,
+        ctx: Option<SpanContext>,
     ) -> CycleStats
     where
         E: Environment + Sync,
@@ -878,20 +1008,28 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             Some(pool) => pool,
             None => ShardedExecutor::global(),
         };
+        let tracing = self.tracer.clone().zip(ctx);
         let shards: Vec<ShardJob<'_>> = self
             .pipes
             .chunks_mut(streams)
             .zip(envs.chunks(streams))
             .zip(budgets.chunks(streams))
-            .filter(|(_, gbudgets)| gbudgets.iter().any(|&b| b > 0))
-            .map(|((pipes, genvs), gbudgets)| {
+            .enumerate()
+            .filter(|(_, (_, gbudgets))| gbudgets.iter().any(|&b| b > 0))
+            .map(|(g, ((pipes, genvs), gbudgets))| {
+                let lane = (g * streams) as u32;
                 let chunks: Vec<u64> = pipes
                     .iter()
                     .zip(gbudgets)
                     .map(|(pipe, &b)| chunk_samples(b, pipe.num_states(), pipe.num_actions()))
                     .collect();
                 let mut left: Vec<u64> = gbudgets.to_vec();
+                let mut chunk_idx = 0u64;
+                let tracing = tracing.clone();
                 Box::new(move || {
+                    let span = tracing.as_ref().map(|(tracer, root)| {
+                        tracer.begin(root.trace, Some(root.span), "chunk", lane, chunk_idx)
+                    });
                     let mut legs: Vec<(&mut AccelPipeline<V, S>, &E, u64)> =
                         Vec::with_capacity(pipes.len());
                     for (((pipe, env), l), &chunk) in pipes
@@ -905,6 +1043,10 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
                         legs.push((pipe, env, take));
                     }
                     crate::interleave::run_interleaved_group(&mut legs);
+                    if let (Some((tracer, _)), Some(active)) = (&tracing, span) {
+                        tracer.end(active);
+                    }
+                    chunk_idx += 1;
                     left.iter().any(|&l| l > 0)
                 }) as ShardJob<'_>
             })
@@ -941,9 +1083,19 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
         assert!(checkpoint_every > 0, "checkpoint cadence must be nonzero");
         std::fs::create_dir_all(dir)?;
+        let root = self.begin_batch_root("train_batch_durable", total_samples);
+        let ctx = root.as_ref().map(|(_, active)| active.context());
+        let tracing = self.tracer.clone().zip(ctx);
         // Resume: pick up whatever a previous (possibly killed) run left.
         for (i, pipe) in self.pipes.iter_mut().enumerate() {
-            match pipe.restore_checkpoint(&shard_checkpoint_path(dir, i)) {
+            let span = tracing.as_ref().map(|(tracer, root)| {
+                tracer.begin(root.trace, Some(root.span), "checkpoint_restore", i as u32, 0)
+            });
+            let restored = pipe.restore_checkpoint(&shard_checkpoint_path(dir, i));
+            if let (Some((tracer, _)), Some(active)) = (&tracing, span) {
+                tracer.end(active);
+            }
+            match restored {
                 Ok(()) => {}
                 Err(CheckpointError::Io(e))
                     if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -977,12 +1129,30 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         let failed: Mutex<Option<CheckpointError>> = Mutex::new(None);
         let plan = &shards;
         let failed_ref = &failed;
-        let stats = self.drive(envs, &budgets, |i, pipe, env, n| {
+        let save_tracer = self.tracer.clone();
+        let stats = self.drive(envs, &budgets, ctx, |i, pipe, env, n, chunk_ctx| {
             let before = pipe.stats().samples;
             pipe.run_samples_fast_planned(env, n, plan[i].layout);
-            if before / checkpoint_every != pipe.stats().samples / checkpoint_every {
+            let after = pipe.stats().samples;
+            if before / checkpoint_every != after / checkpoint_every {
+                // Nest the periodic save under the chunk that crossed
+                // the cadence boundary; the ordinal is the cadence
+                // multiple reached, so the span identity is a function
+                // of training progress alone.
+                let span = save_tracer.as_ref().zip(chunk_ctx).map(|(tracer, c)| {
+                    tracer.begin(
+                        c.trace,
+                        Some(c.span),
+                        "checkpoint_save",
+                        i as u32,
+                        after / checkpoint_every,
+                    )
+                });
                 if let Err(e) = pipe.save_checkpoint(&shard_checkpoint_path(dir, i)) {
                     failed_ref.lock().unwrap().get_or_insert(e);
+                }
+                if let (Some(tracer), Some(active)) = (&save_tracer, span) {
+                    tracer.end(active);
                 }
             }
         });
@@ -991,7 +1161,20 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         }
         // Seal the batch: the final state of every shard is durable.
         for (i, pipe) in self.pipes.iter().enumerate() {
-            pipe.save_checkpoint(&shard_checkpoint_path(dir, i))?;
+            let span = tracing.as_ref().map(|(tracer, root)| {
+                tracer.begin(
+                    root.trace,
+                    Some(root.span),
+                    "checkpoint_save",
+                    i as u32,
+                    pipe.stats().samples / checkpoint_every + 1,
+                )
+            });
+            let sealed = pipe.save_checkpoint(&shard_checkpoint_path(dir, i));
+            if let (Some((tracer, _)), Some(active)) = (&tracing, span) {
+                tracer.end(active);
+            }
+            sealed?;
         }
         // Health-instrumented batches leave a flight recording next to
         // the sealed checkpoints: one probe snapshot per shard plus the
@@ -1013,11 +1196,16 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             recorder.push_marker(seal_cycle, "batch_seal");
             recorder.dump_to(dir.join("flight.jsonl"))?;
         }
+        if let Some((tracer, active)) = root {
+            tracer.end(active);
+        }
         Ok(BatchReport {
             stats,
             workers: self.workers(),
             shards,
             dropped_iterations: self.dropped_iterations(),
+            dropped_spans: self.dropped_spans(),
+            trace: ctx,
         })
     }
 

@@ -17,7 +17,8 @@ use qtaccel_accel::{
 use qtaccel_fixed::{QValue, Q8_8};
 use qtaccel_telemetry::{
     stall_run_lengths, CounterBank, CountersOnly, HealthConfig, HealthProbe, HealthSink,
-    Histogram, Json, MetricsRegistry, RingSink, ToJson, TraceSink, Watchdog, WatchdogConfig,
+    Histogram, Json, MetricsRegistry, RingSink, SpanTracer, ToJson, TraceSink, Watchdog,
+    WatchdogConfig,
 };
 use std::sync::Arc;
 
@@ -46,6 +47,12 @@ pub struct LatencyReport {
     /// Iterations the stall probe's bounded ring sink evicted — nonzero
     /// flags that the retained event trace is *not* the complete run.
     pub dropped_iterations: u64,
+    /// Spans the probe batch recorded into its tracer ring.
+    pub spans: u64,
+    /// Spans the tracer's bounded ring evicted — nonzero flags that the
+    /// retained span tree is *not* the complete batch (the span-side
+    /// twin of `dropped_iterations`).
+    pub dropped_spans: u64,
     /// Merged perf-counter snapshot of the instrumented batch.
     pub counters: CounterBank,
 }
@@ -61,6 +68,8 @@ impl LatencyReport {
             ("worker_busy_ns", Json::UInt(self.worker_busy_ns)),
             ("worker_idle_ns", Json::UInt(self.worker_idle_ns)),
             ("dropped_iterations", Json::UInt(self.dropped_iterations)),
+            ("spans", Json::UInt(self.spans)),
+            ("dropped_spans", Json::UInt(self.dropped_spans)),
             ("chunk_service_ns", self.chunk_service.summary().to_json()),
             ("queue_wait_ns", self.queue_wait.summary().to_json()),
             ("stall_run_cycles", self.stall_runs.summary().to_json()),
@@ -107,6 +116,16 @@ impl LatencyReport {
             "iterations evicted from bounded trace sinks (truncated-trace flag)",
             self.dropped_iterations,
         );
+        registry.set_counter(
+            "qtaccel_trace_spans_total",
+            "structured spans recorded by the batch span tracer",
+            self.spans,
+        );
+        registry.set_counter(
+            "qtaccel_trace_dropped_spans_total",
+            "spans evicted from the tracer's bounded ring (truncated-trace flag)",
+            self.dropped_spans,
+        );
         registry.set_histogram(
             "qtaccel_executor_chunk_service_ns",
             "wall-clock nanoseconds one chunk execution took",
@@ -136,12 +155,14 @@ pub fn measure_latency(bank_states: usize, pipes: usize, samples: u64) -> Latenc
         qtaccel_accel::executor::host_parallelism().min(pipes.max(2)),
     ));
     let envs: Vec<_> = (0..pipes).map(|_| paper_grid(bank_states, ACTIONS)).collect();
+    let tracer = Arc::new(SpanTracer::new(AccelConfig::default().trainer.seed, 1 << 12));
     let mut banks = IndependentPipelines::<Q8_8, CountersOnly>::with_sinks(
         &envs,
         AccelConfig::default(),
         vec![CountersOnly; pipes],
     )
-    .with_executor(Arc::clone(&pool));
+    .with_executor(Arc::clone(&pool))
+    .with_tracer(Arc::clone(&tracer));
     banks.train_batch(&envs, samples);
 
     let metrics = pool.metrics().expect("instrumented pool");
@@ -167,6 +188,8 @@ pub fn measure_latency(bank_states: usize, pipes: usize, samples: u64) -> Latenc
         chunks: snaps.iter().map(|s| s.chunks).sum(),
         workers: snaps.len(),
         dropped_iterations: probe.sink().dropped_iterations(),
+        spans: tracer.recorded(),
+        dropped_spans: tracer.dropped_spans(),
         counters: banks.merged_counters(),
     }
 }

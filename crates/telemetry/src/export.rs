@@ -30,7 +30,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -254,7 +254,7 @@ pub const IO_TIMEOUT: Duration = Duration::from_millis(500);
 pub const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
 /// How draining one request head went.
-enum RequestHead {
+pub(crate) enum RequestHead {
     /// The blank line arrived: a complete (enough) HTTP request.
     Complete,
     /// The client streamed past [`MAX_REQUEST_BYTES`] without one.
@@ -265,7 +265,7 @@ enum RequestHead {
 
 /// Drain the request head until its terminating blank line, the size
 /// cap, or the socket deadline — whichever comes first.
-fn read_request_head(stream: &mut TcpStream) -> RequestHead {
+pub(crate) fn read_request_head(stream: &mut TcpStream) -> RequestHead {
     let mut head = Vec::with_capacity(256);
     let mut chunk = [0u8; 1024];
     loop {

@@ -601,6 +601,20 @@ impl WatchdogRule {
             WatchdogRule::ScrubFailure => 3,
         }
     }
+
+    /// Stable numeric code for binary encodings (the telemetry wire
+    /// protocol and span lanes). Codes are part of the wire contract:
+    /// they never change meaning, and new rules append.
+    pub fn code(self) -> u64 {
+        self.index() as u64
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for codes this build
+    /// does not know (a newer sender — the strict decoder refuses the
+    /// frame rather than guessing).
+    pub fn from_code(code: u64) -> Option<WatchdogRule> {
+        WatchdogRule::ALL.get(code as usize).copied()
+    }
 }
 
 /// A structured, cycle-stamped watchdog alert.

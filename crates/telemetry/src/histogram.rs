@@ -266,7 +266,7 @@ pub enum MetricValue {
     Info(Vec<(String, String)>),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Metric {
     name: String,
     help: String,
@@ -280,7 +280,7 @@ struct Metric {
 /// metric name starts with `qtaccel_`, uses only `[a-z0-9_]`, and
 /// counters end in `_total` (the OpenMetrics counter-sample convention).
 /// Registration order is presentation order, like counter addresses.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     metrics: Vec<Metric>,
 }

@@ -35,6 +35,19 @@
 //!   [`TraceSink::health_mut`] seam by [`HealthSink`]), the [`Watchdog`]
 //!   rule engine raising structured [`Alert`]s, and the crash
 //!   [`FlightRecorder`] with its panic-dump harness.
+//! * [`span`] — deterministic structured spans: seeded [`TraceId`]s /
+//!   [`SpanId`]s derived from sample ordinals (never wall-clock), a
+//!   bounded [`SpanTracer`] ring with drop accounting, and contexts
+//!   that cross executor worker threads so one trace covers a batch.
+//! * [`wire`] — the framed telemetry wire protocol: versioned,
+//!   CRC-32'd [`wire::Frame`]s carrying metric deltas, span batches,
+//!   and alerts, with a strict incremental decoder
+//!   ([`wire::FrameReader`]) that refuses damage with typed errors.
+//! * [`collector`] — the merging TCP [`Collector`]: N concurrent
+//!   worker wire streams in, associatively merged registry over
+//!   OpenMetrics and a multi-process Perfetto trace out
+//!   ([`Collector::perfetto_trace`]); [`WireClient`] is the sending
+//!   half. DESIGN.md §2.15 documents all three layers.
 //!
 //! The cost contract: telemetry is **disabled by default and free when
 //! disabled**. Pipelines are generic over the sink; with [`NullSink`]
@@ -43,6 +56,7 @@
 //! documents the register map, the JSONL event schema, and this policy;
 //! §2.10 documents the metrics service built on top.
 
+pub mod collector;
 pub mod counters;
 pub mod event;
 pub mod export;
@@ -51,6 +65,8 @@ pub mod histogram;
 pub mod json;
 pub mod manifest;
 pub mod sink;
+pub mod span;
+pub mod wire;
 
 pub use counters::{CounterBank, CounterId};
 pub use event::{Event, MemKind};
@@ -63,5 +79,8 @@ pub use health::{
     Watchdog, WatchdogConfig, WatchdogRule,
 };
 pub use histogram::{stall_run_lengths, Histogram, HistogramSummary, MetricValue, MetricsRegistry};
+pub use collector::{Collector, WireClient, WorkerView};
 pub use json::{Json, ToJson};
 pub use sink::{CountersOnly, JsonlSink, NullSink, RingSink, TraceSink};
+pub use span::{monotonic_ns, ActiveSpan, Span, SpanContext, SpanId, SpanTracer, TraceId};
+pub use wire::{registry_delta, Frame, FramePayload, FrameReader, WireError};

@@ -1,0 +1,807 @@
+//! The framed telemetry wire protocol (DESIGN.md §2.15).
+//!
+//! Workers ship telemetry to a collector as a stream of self-delimiting
+//! binary **frames** carrying metric *deltas* (counters/gauges/
+//! histograms), span batches, and watchdog alerts. The container
+//! follows the same conventions as the `accel::checkpoint` format —
+//! little-endian `u64` words, a magic word, a version word, and a
+//! CRC-32/ISO-HDLC trailer — so the same failure taxonomy applies and
+//! the same damage matrix tests it (`qtaccel-telemetry/tests/wire.rs`
+//! mirrors `qtaccel-accel/tests/checkpoint.rs`).
+//!
+//! ## Frame layout
+//!
+//! ```text
+//! word 0        magic  "QTACWIRE"
+//! word 1        format version (this module speaks version 1)
+//! word 2        frame kind (1 hello, 2 metrics delta, 3 span batch, 4 alerts)
+//! word 3        worker id (sender-chosen; the collector's merge key)
+//! word 4        sequence number (per-connection, starts at 0)
+//! word 5        payload length in words (1 ..= MAX_PAYLOAD_WORDS)
+//! word 6..6+n   payload (kind-specific, see below)
+//! word 6+n      CRC-32 of the preceding bytes, zero-extended to 64 bits
+//! ```
+//!
+//! Strings are a length word followed by the bytes zero-padded to a
+//! word boundary. Floats travel as IEEE-754 bit patterns
+//! (`f64::to_bits`). Histograms travel whole (65 bucket words + count +
+//! sum + max) — bucket-wise subtraction makes the *delta* of two
+//! histograms another histogram, so deltas and totals share one
+//! encoding.
+//!
+//! ## Strictness
+//!
+//! The decoder refuses, with a typed [`WireError`] and never a panic or
+//! a silent partial merge: truncation mid-frame, a flipped CRC, a bad
+//! magic or version word, zero-length and oversized frames, unknown
+//! kinds, and malformed payloads (bad UTF-8, foreign metric names,
+//! inconsistent histograms, unknown alert codes, trailing words).
+//! [`FrameReader`] is the incremental flavor: feed it bytes as they
+//! arrive (partial writes interleave safely — a frame only decodes once
+//! every one of its bytes is in) and pull complete frames out.
+
+use crate::health::{Alert, WatchdogRule};
+use crate::histogram::{Histogram, MetricValue, MetricsRegistry};
+use crate::span::{Span, SpanId, TraceId};
+
+/// `"QTACWIRE"` in ASCII — the first word of every frame.
+pub const MAGIC: u64 = u64::from_le_bytes(*b"QTACWIRE");
+
+/// Wire format version this build writes and understands.
+pub const VERSION: u64 = 1;
+
+/// Fixed frame header length in words (magic, version, kind, worker,
+/// sequence, payload length).
+pub const HEADER_WORDS: usize = 6;
+
+/// Largest payload a frame may declare (8 MiB) — the decoder refuses
+/// bigger declarations *before* buffering them, so a corrupt length
+/// word cannot make a receiver allocate without bound.
+pub const MAX_PAYLOAD_WORDS: u64 = 1 << 20;
+
+/// CRC-32/ISO-HDLC (the zlib/PNG polynomial, reflected), one nibble per
+/// table step — the same algorithm and table as the checkpoint
+/// container, reimplemented here because `qtaccel-accel` depends on
+/// this crate, not the other way around.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const TABLE: [u32; 16] = [
+        0x0000_0000,
+        0x1DB7_1064,
+        0x3B6E_20C8,
+        0x26D9_30AC,
+        0x76DC_4190,
+        0x6B6B_51F4,
+        0x4DB2_6158,
+        0x5005_713C,
+        0xEDB8_8320,
+        0xF00F_9344,
+        0xD6D6_A3E8,
+        0xCB61_B38C,
+        0x9B64_C2B0,
+        0x86D3_D2D4,
+        0xA00A_E278,
+        0xBDBD_F21C,
+    ];
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 4) ^ TABLE[((crc ^ b as u32) & 0xF) as usize];
+        crc = (crc >> 4) ^ TABLE[((crc ^ (b as u32 >> 4)) & 0xF) as usize];
+    }
+    !crc
+}
+
+/// Why a frame could not be encoded, decoded, or transported.
+#[derive(Debug)]
+pub enum WireError {
+    /// The byte stream ended inside a frame (not at a frame boundary).
+    Truncated,
+    /// The first word is not the wire magic — not a telemetry stream.
+    BadMagic,
+    /// A telemetry frame, but from an incompatible format version.
+    BadVersion {
+        /// The version word found on the wire.
+        found: u64,
+    },
+    /// The kind word names no frame kind this build knows.
+    BadKind {
+        /// The kind word found on the wire.
+        found: u64,
+    },
+    /// The frame declares a payload larger than [`MAX_PAYLOAD_WORDS`].
+    Oversized {
+        /// The declared payload length in words.
+        words: u64,
+    },
+    /// The frame declares a zero-length payload (every kind carries at
+    /// least one word).
+    EmptyPayload,
+    /// The CRC trailer does not match the content: torn write or
+    /// corruption.
+    BadCrc,
+    /// The container is intact but the payload does not decode (the
+    /// string names what was wrong).
+    BadPayload(String),
+    /// Socket-level failure while sending or receiving.
+    Io(std::io::Error),
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire frame truncated mid-frame"),
+            WireError::BadMagic => write!(f, "not a QTAccel telemetry stream (bad magic)"),
+            WireError::BadVersion { found } => {
+                write!(f, "unsupported wire version {found} (this build speaks {VERSION})")
+            }
+            WireError::BadKind { found } => write!(f, "unknown wire frame kind {found}"),
+            WireError::Oversized { words } => {
+                write!(f, "frame declares {words} payload words (cap {MAX_PAYLOAD_WORDS})")
+            }
+            WireError::EmptyPayload => write!(f, "frame declares an empty payload"),
+            WireError::BadCrc => write!(f, "wire frame CRC mismatch (corrupt frame)"),
+            WireError::BadPayload(what) => write!(f, "malformed wire payload: {what}"),
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// What one frame carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FramePayload {
+    /// Connection preamble: the worker's human-readable label (becomes
+    /// its Perfetto process-track name at the collector).
+    Hello {
+        /// Worker label, e.g. `"worker-2"` or a hostname.
+        label: String,
+    },
+    /// A registry of metric *deltas* since the sender's last metrics
+    /// frame (counters and histograms subtract; gauges and info travel
+    /// as current values). The collector folds these in with
+    /// [`MetricsRegistry::merge`], so counters add associatively.
+    Metrics(MetricsRegistry),
+    /// A batch of completed spans (typically one tracer drain).
+    Spans(Vec<Span>),
+    /// Watchdog alerts raised since the last alert frame.
+    Alerts(Vec<Alert>),
+}
+
+impl FramePayload {
+    /// The kind word this payload encodes under.
+    pub fn kind(&self) -> u64 {
+        match self {
+            FramePayload::Hello { .. } => 1,
+            FramePayload::Metrics(_) => 2,
+            FramePayload::Spans(_) => 3,
+            FramePayload::Alerts(_) => 4,
+        }
+    }
+}
+
+/// One decoded wire frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Sender-chosen worker id (the collector's merge key).
+    pub worker: u64,
+    /// Per-connection sequence number.
+    pub seq: u64,
+    /// The payload.
+    pub payload: FramePayload,
+}
+
+// ---------------------------------------------------------------------
+// Word-level encode helpers.
+
+fn push_str(words: &mut Vec<u64>, s: &str) {
+    let bytes = s.as_bytes();
+    words.push(bytes.len() as u64);
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        words.push(u64::from_le_bytes(w));
+    }
+}
+
+fn push_histogram(words: &mut Vec<u64>, h: &Histogram) {
+    words.extend_from_slice(h.bucket_counts());
+    words.push(h.count());
+    words.push(h.sum());
+    words.push(h.max());
+}
+
+fn encode_payload(payload: &FramePayload) -> Vec<u64> {
+    let mut w = Vec::new();
+    match payload {
+        FramePayload::Hello { label } => push_str(&mut w, label),
+        FramePayload::Metrics(reg) => {
+            w.push(reg.len() as u64);
+            for (name, help, value) in reg.iter() {
+                let tag = match value {
+                    MetricValue::Counter(_) => 0u64,
+                    MetricValue::Gauge(_) => 1,
+                    MetricValue::Histogram(_) => 2,
+                    MetricValue::Info(_) => 3,
+                };
+                w.push(tag);
+                push_str(&mut w, name);
+                push_str(&mut w, help);
+                match value {
+                    MetricValue::Counter(v) => w.push(*v),
+                    MetricValue::Gauge(v) => w.push(v.to_bits()),
+                    MetricValue::Histogram(h) => push_histogram(&mut w, h),
+                    MetricValue::Info(labels) => {
+                        w.push(labels.len() as u64);
+                        for (k, v) in labels {
+                            push_str(&mut w, k);
+                            push_str(&mut w, v);
+                        }
+                    }
+                }
+            }
+        }
+        FramePayload::Spans(spans) => {
+            w.push(spans.len() as u64);
+            for s in spans {
+                w.push(s.trace.0);
+                w.push(s.id.0);
+                w.push(s.parent.map_or(0, |p| p.0));
+                push_str(&mut w, &s.name);
+                w.push(s.lane as u64);
+                w.push(s.ordinal);
+                w.push(s.start_ns);
+                w.push(s.end_ns);
+            }
+        }
+        FramePayload::Alerts(alerts) => {
+            w.push(alerts.len() as u64);
+            for a in alerts {
+                w.push(a.rule.code());
+                w.push(a.cycle);
+                w.push(a.sample);
+                w.push(a.value.to_bits());
+                w.push(a.threshold.to_bits());
+            }
+        }
+    }
+    w
+}
+
+impl Frame {
+    /// Encode the frame to its byte representation (header + payload +
+    /// CRC trailer).
+    ///
+    /// # Panics
+    /// If the payload exceeds [`MAX_PAYLOAD_WORDS`] — senders size
+    /// their batches; a registry or span drain that large indicates a
+    /// caller bug, not a transport condition.
+    pub fn encode(&self) -> Vec<u8> {
+        let payload = encode_payload(&self.payload);
+        assert!(
+            (payload.len() as u64) <= MAX_PAYLOAD_WORDS,
+            "wire payload of {} words exceeds the {MAX_PAYLOAD_WORDS}-word cap",
+            payload.len()
+        );
+        let mut words = Vec::with_capacity(HEADER_WORDS + payload.len() + 1);
+        words.push(MAGIC);
+        words.push(VERSION);
+        words.push(self.payload.kind());
+        words.push(self.worker);
+        words.push(self.seq);
+        words.push(payload.len() as u64);
+        words.extend_from_slice(&payload);
+        let mut bytes = Vec::with_capacity(words.len() * 8 + 8);
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        let crc = crc32(&bytes) as u64;
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    /// Decode exactly one frame from `bytes`, refusing trailing bytes.
+    /// The incremental flavor is [`FrameReader`].
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        let mut reader = FrameReader::new();
+        reader.push(bytes);
+        match reader.next_frame()? {
+            Some(frame) if reader.is_empty() => Ok(frame),
+            Some(_) => Err(WireError::BadPayload("trailing bytes after frame".into())),
+            None => Err(WireError::Truncated),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Word-level decode helpers.
+
+struct PayloadReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    fn take(&mut self) -> Result<u64, WireError> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| WireError::BadPayload("payload shorter than declared".into()))?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn take_str(&mut self) -> Result<String, WireError> {
+        let len = self.take()? as usize;
+        if len > MAX_PAYLOAD_WORDS as usize * 8 {
+            return Err(WireError::BadPayload("string length exceeds frame".into()));
+        }
+        let words = len.div_ceil(8);
+        let mut bytes = Vec::with_capacity(len);
+        for _ in 0..words {
+            bytes.extend_from_slice(&self.take()?.to_le_bytes());
+        }
+        bytes.truncate(len);
+        String::from_utf8(bytes).map_err(|_| WireError::BadPayload("string is not UTF-8".into()))
+    }
+
+    fn take_histogram(&mut self) -> Result<Histogram, WireError> {
+        let mut buckets = [0u64; Histogram::BUCKETS];
+        for b in &mut buckets {
+            *b = self.take()?;
+        }
+        let (count, sum, max) = (self.take()?, self.take()?, self.take()?);
+        let bucket_total: u64 = buckets
+            .iter()
+            .try_fold(0u64, |acc, &b| acc.checked_add(b))
+            .ok_or_else(|| WireError::BadPayload("histogram bucket overflow".into()))?;
+        if bucket_total != count {
+            return Err(WireError::BadPayload(
+                "histogram count disagrees with its buckets".into(),
+            ));
+        }
+        Ok(Histogram::from_parts(buckets, count, sum, max))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos == self.words.len() {
+            Ok(())
+        } else {
+            Err(WireError::BadPayload("trailing payload words".into()))
+        }
+    }
+}
+
+/// Pre-validate a metric name against the registry's `qtaccel_*`
+/// contract so a hostile frame surfaces as a typed refusal instead of a
+/// registry assertion panic.
+fn valid_metric_name(name: &str, is_counter: bool) -> bool {
+    name.starts_with("qtaccel_")
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        && (!is_counter || name.ends_with("_total"))
+}
+
+fn decode_payload(kind: u64, words: &[u64]) -> Result<FramePayload, WireError> {
+    let mut r = PayloadReader { words, pos: 0 };
+    let payload = match kind {
+        1 => FramePayload::Hello {
+            label: r.take_str()?,
+        },
+        2 => {
+            let count = r.take()?;
+            let mut reg = MetricsRegistry::new();
+            for _ in 0..count {
+                let tag = r.take()?;
+                let name = r.take_str()?;
+                let help = r.take_str()?;
+                if !valid_metric_name(&name, tag == 0) {
+                    return Err(WireError::BadPayload(format!(
+                        "metric name `{name}` violates the qtaccel_* scheme"
+                    )));
+                }
+                match tag {
+                    0 => reg.set_counter(&name, &help, r.take()?),
+                    1 => reg.set_gauge(&name, &help, f64::from_bits(r.take()?)),
+                    2 => {
+                        let h = r.take_histogram()?;
+                        reg.set_histogram(&name, &help, &h);
+                    }
+                    3 => {
+                        let pairs = r.take()?;
+                        let mut labels = Vec::new();
+                        for _ in 0..pairs {
+                            let k = r.take_str()?;
+                            let v = r.take_str()?;
+                            if k.is_empty()
+                                || !k.bytes().all(|b| {
+                                    b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'
+                                })
+                            {
+                                return Err(WireError::BadPayload(format!(
+                                    "info label key `{k}` is not snake_case"
+                                )));
+                            }
+                            labels.push((k, v));
+                        }
+                        let borrowed: Vec<(&str, &str)> = labels
+                            .iter()
+                            .map(|(k, v)| (k.as_str(), v.as_str()))
+                            .collect();
+                        reg.set_info(&name, &help, &borrowed);
+                    }
+                    other => {
+                        return Err(WireError::BadPayload(format!(
+                            "unknown metric tag {other}"
+                        )))
+                    }
+                }
+            }
+            FramePayload::Metrics(reg)
+        }
+        3 => {
+            let count = r.take()?;
+            let mut spans = Vec::new();
+            for _ in 0..count {
+                let trace = TraceId(r.take()?);
+                let id = SpanId(r.take()?);
+                let parent_raw = r.take()?;
+                let name = r.take_str()?;
+                let lane = r.take()?;
+                if lane > u32::MAX as u64 {
+                    return Err(WireError::BadPayload("span lane exceeds u32".into()));
+                }
+                let (ordinal, start_ns, end_ns) = (r.take()?, r.take()?, r.take()?);
+                if end_ns < start_ns {
+                    return Err(WireError::BadPayload("span ends before it starts".into()));
+                }
+                spans.push(Span {
+                    trace,
+                    id,
+                    parent: if parent_raw == 0 {
+                        None
+                    } else {
+                        Some(SpanId(parent_raw))
+                    },
+                    name,
+                    lane: lane as u32,
+                    ordinal,
+                    start_ns,
+                    end_ns,
+                });
+            }
+            FramePayload::Spans(spans)
+        }
+        4 => {
+            let count = r.take()?;
+            let mut alerts = Vec::new();
+            for _ in 0..count {
+                let code = r.take()?;
+                let rule = WatchdogRule::from_code(code)
+                    .ok_or_else(|| WireError::BadPayload(format!("unknown alert code {code}")))?;
+                alerts.push(Alert {
+                    rule,
+                    cycle: r.take()?,
+                    sample: r.take()?,
+                    value: f64::from_bits(r.take()?),
+                    threshold: f64::from_bits(r.take()?),
+                });
+            }
+            FramePayload::Alerts(alerts)
+        }
+        other => return Err(WireError::BadKind { found: other }),
+    };
+    r.finish()?;
+    Ok(payload)
+}
+
+/// Incremental frame decoder: feed bytes as they arrive off a socket
+/// ([`push`](Self::push)), pull complete frames out
+/// ([`next_frame`](Self::next_frame)). Header words are validated as
+/// soon as they are in — garbage is refused before its declared payload
+/// is ever buffered — and a frame decodes only when every one of its
+/// bytes (including the CRC trailer) has arrived, so interleaved
+/// partial writes reassemble exactly.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether the buffer sits exactly at a frame boundary — at stream
+    /// end, `false` means the peer died mid-frame ([`WireError::Truncated`]).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    fn word(&self, i: usize) -> u64 {
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&self.buf[i * 8..i * 8 + 8]);
+        u64::from_le_bytes(w)
+    }
+
+    /// Decode the next complete frame, if the buffer holds one.
+    /// `Ok(None)` means "need more bytes". An error is a refusal of the
+    /// stream — the caller should drop the connection; nothing from the
+    /// bad frame has been surfaced.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        // Validate header words as soon as each arrives.
+        if self.buf.len() >= 8 && self.word(0) != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        if self.buf.len() >= 16 && self.word(1) != VERSION {
+            return Err(WireError::BadVersion {
+                found: self.word(1),
+            });
+        }
+        if self.buf.len() >= 24 && !(1..=4).contains(&self.word(2)) {
+            return Err(WireError::BadKind {
+                found: self.word(2),
+            });
+        }
+        if self.buf.len() < HEADER_WORDS * 8 {
+            return Ok(None);
+        }
+        let payload_words = self.word(5);
+        if payload_words == 0 {
+            return Err(WireError::EmptyPayload);
+        }
+        if payload_words > MAX_PAYLOAD_WORDS {
+            return Err(WireError::Oversized {
+                words: payload_words,
+            });
+        }
+        let total = (HEADER_WORDS + payload_words as usize + 1) * 8;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let crc_declared = self.word(HEADER_WORDS + payload_words as usize);
+        let crc_actual = crc32(&self.buf[..total - 8]) as u64;
+        if crc_declared != crc_actual {
+            return Err(WireError::BadCrc);
+        }
+        let words: Vec<u64> = (HEADER_WORDS..HEADER_WORDS + payload_words as usize)
+            .map(|i| self.word(i))
+            .collect();
+        let frame = Frame {
+            worker: self.word(3),
+            seq: self.word(4),
+            payload: decode_payload(self.word(2), &words)?,
+        };
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+/// The delta between two registry snapshots, encodable as a
+/// [`FramePayload::Metrics`] frame: counters and histograms subtract
+/// (`cur − prev`), gauges and info carry `cur`'s value (they are
+/// last-write-wins at the collector). Sending deltas makes the
+/// collector's counter merge associative: the merged total is exactly
+/// the sum of every delta ever received, regardless of arrival order.
+///
+/// `prev` must be an earlier snapshot of the same registry (counters
+/// monotonic, histogram buckets monotonic); a regressed counter is a
+/// caller bug and panics in debug via the subtraction underflow guard.
+pub fn registry_delta(prev: &MetricsRegistry, cur: &MetricsRegistry) -> MetricsRegistry {
+    let mut delta = MetricsRegistry::new();
+    for (name, help, value) in cur.iter() {
+        match (value, prev.get(name)) {
+            (MetricValue::Counter(c), Some(MetricValue::Counter(p))) => {
+                delta.set_counter(name, help, c.saturating_sub(*p));
+            }
+            (MetricValue::Counter(c), _) => delta.set_counter(name, help, *c),
+            (MetricValue::Gauge(g), _) => delta.set_gauge(name, help, *g),
+            (MetricValue::Histogram(h), Some(MetricValue::Histogram(p))) => {
+                let mut buckets = *h.bucket_counts();
+                for (b, o) in buckets.iter_mut().zip(p.bucket_counts()) {
+                    *b = b.saturating_sub(*o);
+                }
+                let d = Histogram::from_parts(
+                    buckets,
+                    h.count().saturating_sub(p.count()),
+                    h.sum().saturating_sub(p.sum()),
+                    h.max(),
+                );
+                delta.set_histogram(name, help, &d);
+            }
+            (MetricValue::Histogram(h), _) => delta.set_histogram(name, help, h),
+            (MetricValue::Info(labels), _) => {
+                let borrowed: Vec<(&str, &str)> = labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                delta.set_info(name, help, &borrowed);
+            }
+        }
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut r = MetricsRegistry::new();
+        r.set_counter("qtaccel_samples_total", "samples", 1234);
+        r.set_gauge("qtaccel_executor_queue_depth", "depth", 2.5);
+        for v in [3u64, 9, 1000] {
+            r.observe("qtaccel_executor_chunk_service_ns", "svc", v);
+        }
+        r.set_info("qtaccel_build_info", "prov", &[("seed", "7"), ("format", "Q8.8")]);
+        r
+    }
+
+    fn sample_spans() -> Vec<Span> {
+        let trace = TraceId::derive(9, 0);
+        let root = SpanId::derive(trace, None, "train_batch", 0, 100);
+        vec![
+            Span {
+                trace,
+                id: root,
+                parent: None,
+                name: "train_batch".into(),
+                lane: 0,
+                ordinal: 100,
+                start_ns: 10,
+                end_ns: 900,
+            },
+            Span {
+                trace,
+                id: SpanId::derive(trace, Some(root), "chunk", 1, 0),
+                parent: Some(root),
+                name: "chunk".into(),
+                lane: 1,
+                ordinal: 0,
+                start_ns: 20,
+                end_ns: 500,
+            },
+        ]
+    }
+
+    #[test]
+    fn crc_matches_the_container_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926, "CRC-32/ISO-HDLC");
+    }
+
+    #[test]
+    fn every_payload_kind_round_trips() {
+        let payloads = [
+            FramePayload::Hello {
+                label: "worker-3".into(),
+            },
+            FramePayload::Metrics(sample_registry()),
+            FramePayload::Spans(sample_spans()),
+            FramePayload::Alerts(vec![Alert {
+                rule: WatchdogRule::Divergence,
+                cycle: 5,
+                sample: 10,
+                value: 14.5,
+                threshold: 13.0,
+            }]),
+        ];
+        for (i, payload) in payloads.into_iter().enumerate() {
+            let frame = Frame {
+                worker: 7,
+                seq: i as u64,
+                payload,
+            };
+            let decoded = Frame::decode(&frame.encode()).expect("round trip");
+            assert_eq!(decoded, frame, "payload {i}");
+        }
+    }
+
+    #[test]
+    fn metrics_delta_is_exact_and_merges_back() {
+        let prev = {
+            let mut r = MetricsRegistry::new();
+            r.set_counter("qtaccel_samples_total", "samples", 1000);
+            for v in [3u64, 9] {
+                r.observe("qtaccel_executor_chunk_service_ns", "svc", v);
+            }
+            r
+        };
+        let cur = sample_registry();
+        let delta = registry_delta(&prev, &cur);
+        assert_eq!(
+            delta.get("qtaccel_samples_total"),
+            Some(&MetricValue::Counter(234))
+        );
+        // prev ⊕ delta == cur for the additive kinds.
+        let mut rebuilt = prev.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(
+            rebuilt.get("qtaccel_samples_total"),
+            cur.get("qtaccel_samples_total")
+        );
+        match (
+            rebuilt.get("qtaccel_executor_chunk_service_ns"),
+            cur.get("qtaccel_executor_chunk_service_ns"),
+        ) {
+            (Some(MetricValue::Histogram(a)), Some(MetricValue::Histogram(b))) => {
+                assert_eq!(a.bucket_counts(), b.bucket_counts());
+                assert_eq!(a.count(), b.count());
+                assert_eq!(a.sum(), b.sum());
+            }
+            other => panic!("expected histograms, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reader_reassembles_interleaved_partial_writes() {
+        let a = Frame {
+            worker: 1,
+            seq: 0,
+            payload: FramePayload::Hello { label: "a".into() },
+        }
+        .encode();
+        let b = Frame {
+            worker: 1,
+            seq: 1,
+            payload: FramePayload::Spans(sample_spans()),
+        }
+        .encode();
+        let stream: Vec<u8> = a.iter().chain(&b).copied().collect();
+        // Feed the stream one byte at a time: exactly two frames emerge.
+        let mut reader = FrameReader::new();
+        let mut frames = Vec::new();
+        for &byte in &stream {
+            reader.push(&[byte]);
+            while let Some(f) = reader.next_frame().expect("clean stream") {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1].seq, 1);
+        assert!(reader.is_empty(), "stream ends on a frame boundary");
+    }
+
+    #[test]
+    fn decoder_refuses_bad_headers_before_buffering_payload() {
+        let good = Frame {
+            worker: 0,
+            seq: 0,
+            payload: FramePayload::Hello { label: "x".into() },
+        }
+        .encode();
+        // Bad magic is refused from the first 8 bytes alone.
+        let mut reader = FrameReader::new();
+        reader.push(b"NOTMAGIC");
+        assert!(matches!(reader.next_frame(), Err(WireError::BadMagic)));
+        // Oversized declaration is refused at the header, without the
+        // payload ever arriving.
+        let mut huge = good.clone();
+        huge[40..48].copy_from_slice(&(MAX_PAYLOAD_WORDS + 1).to_le_bytes());
+        let mut reader = FrameReader::new();
+        reader.push(&huge[..48]);
+        assert!(matches!(
+            reader.next_frame(),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+}

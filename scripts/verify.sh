@@ -12,7 +12,14 @@
 # proof, crash-dump JSONL round-trip), the quantized stored-format
 # suite (4/6/8-bit bit-exactness across executors x hazard modes,
 # golden-reference transitivity, on-grid invariants under faults,
-# checkpoint adoption, stored-rail health probes), and
+# checkpoint adoption, stored-rail health probes), the distributed
+# observability suites (wire-protocol damage matrix, span-tree
+# determinism across worker counts, the durable-batch trace round-trip
+# through a live collector) with the multi-worker collector smoke gate
+# (three concurrent workers stream wire deltas into an ephemeral
+# collector; the merged scrape must sum bit-exactly and the exported
+# multi-process Perfetto trace must re-parse strictly with per-track
+# monotonic timestamps and zero decode errors), and
 # two instrumented quick benches that fail if (a) the
 # disabled-telemetry (NullSink) fast path or (b) the scale-out
 # executor's aggregate rate regressed >5% against the tracked
@@ -48,8 +55,15 @@ cargo test -q --release --offline -p qtaccel-accel --test scaling
 echo "== metrics-service suite (release) =="
 cargo test -q --release --offline -p qtaccel-accel --test metrics
 
-echo "== metrics smoke: serve on an ephemeral port, scrape, validate =="
+echo "== wire-protocol damage matrix (release) =="
+cargo test -q --release --offline -p qtaccel-telemetry --test wire
+
+echo "== span determinism + collector round-trip suite (release) =="
+cargo test -q --release --offline -p qtaccel-accel --test spans
+
+echo "== metrics smoke: serve, scrape, validate + multi-worker collector gate =="
 cargo run --release --offline -p qtaccel-bench --bin metrics_smoke -- --streams 4
+test -s results/collector_trace.json || { echo "collector trace export missing"; exit 1; }
 
 echo "== training-health suite (release) =="
 cargo test -q --release --offline -p qtaccel-accel --test health
