@@ -85,7 +85,10 @@ pub use checkpoint::CheckpointError;
 pub use config::{AccelConfig, HazardMode};
 pub use fault::{FaultConfig, FaultStats};
 pub use executor::{ExecutorMetrics, ShardedExecutor, WorkerSnapshot};
-pub use multi::{BatchReport, DualPipelineShared, IndependentPipelines, ShardRun};
+pub use multi::{
+    shard_checkpoint_path, BatchReport, DualPipelineShared, IndependentPipelines, LeaseError,
+    ShardRun,
+};
 pub use pipeline::{AccelPipeline, FastLayout};
 pub use prob_engine::{ProbPolicyAccel, WeightRule};
 pub use qlearning::QLearningAccel;

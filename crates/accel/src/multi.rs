@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
-use crate::checkpoint::CheckpointError;
+use crate::checkpoint::{self, CheckpointError};
 use crate::config::{AccelConfig, HazardMode};
 use crate::executor::{chunk_samples, ShardJob, ShardedExecutor};
 use crate::fault::FaultConfig;
@@ -528,6 +528,54 @@ pub struct BatchReport {
 /// [`train_batch_durable`]: IndependentPipelines::train_batch_durable
 pub fn shard_checkpoint_path(dir: &Path, i: usize) -> PathBuf {
     dir.join(format!("shard{i}.ckpt"))
+}
+
+/// Why a lease-granular durable run ([`train_shard_durable`]) was
+/// refused.
+///
+/// [`train_shard_durable`]: IndependentPipelines::train_shard_durable
+#[derive(Debug)]
+pub enum LeaseError {
+    /// The shard checkpoint could not be read, restored, or written.
+    Checkpoint(CheckpointError),
+    /// The on-disk checkpoint was sealed under a *newer* fencing epoch
+    /// than the caller holds: the lease was reassigned and this caller
+    /// is a zombie. Training is refused so a superseded worker can
+    /// never clobber the live assignment's state.
+    FencedEpoch {
+        /// The epoch the caller holds its lease under.
+        held: u64,
+        /// The newer epoch found stamped in the checkpoint.
+        found: u64,
+    },
+}
+
+impl From<CheckpointError> for LeaseError {
+    fn from(e: CheckpointError) -> Self {
+        LeaseError::Checkpoint(e)
+    }
+}
+
+impl core::fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LeaseError::Checkpoint(e) => write!(f, "lease checkpoint error: {e}"),
+            LeaseError::FencedEpoch { held, found } => write!(
+                f,
+                "lease fenced: caller holds epoch {held} but the checkpoint \
+                 was sealed under epoch {found} (lease was reassigned)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LeaseError::Checkpoint(e) => Some(e),
+            LeaseError::FencedEpoch { .. } => None,
+        }
+    }
 }
 
 /// Per-shard working set (the fused fast-path slab) above which
@@ -1083,6 +1131,11 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         assert_eq!(envs.len(), self.pipes.len(), "one environment per pipeline");
         assert!(checkpoint_every > 0, "checkpoint cadence must be nonzero");
         std::fs::create_dir_all(dir)?;
+        // A previous run killed between atomic_write's create and rename
+        // leaves a `*.tmp` staging orphan next to the (intact) real
+        // checkpoints; sweep them before scanning so they neither
+        // accumulate across crash loops nor get mistaken for state.
+        checkpoint::clean_stale_tmp(dir)?;
         let root = self.begin_batch_root("train_batch_durable", total_samples);
         let ctx = root.as_ref().map(|(_, active)| active.context());
         let tracing = self.tracer.clone().zip(ctx);
@@ -1209,6 +1262,107 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
         })
     }
 
+    /// Lease-granular durable training (the cluster worker's engine,
+    /// DESIGN.md §2.16): drive **one** shard to `target_samples` total
+    /// retired samples on the calling thread, checkpointing to
+    /// `dir/shard{i}.ckpt` every `checkpoint_every` samples under the
+    /// caller's fencing `epoch`.
+    ///
+    /// On entry any existing shard checkpoint is restored (stale `*.tmp`
+    /// staging orphans are swept first) and its progress counts against
+    /// the target — a worker picking up a dead peer's lease resumes
+    /// where the last durable save left off and finishes bit-identical
+    /// to an uninterrupted run. If the checkpoint on disk was sealed
+    /// under a **newer** epoch than `held`, the caller is a superseded
+    /// zombie and is refused with [`LeaseError::FencedEpoch`] before it
+    /// can train or write anything.
+    ///
+    /// `progress` is called after every chunk with the shard's total
+    /// retired-sample count (a natural heartbeat cadence: chunks are the
+    /// deterministic [`chunk_samples`] size). Returning `false`
+    /// abandons the lease cooperatively — the last periodic checkpoint
+    /// stays on disk, no seal is written, and the call returns the
+    /// progress reached so far. Returns the shard's final retired-sample
+    /// count (`== target_samples` when the lease sealed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_shard_durable<E: Environment>(
+        &mut self,
+        shard: usize,
+        env: &E,
+        target_samples: u64,
+        epoch: u64,
+        dir: &Path,
+        checkpoint_every: u64,
+        mut progress: impl FnMut(u64) -> bool,
+    ) -> Result<u64, LeaseError> {
+        assert!(checkpoint_every > 0, "checkpoint cadence must be nonzero");
+        std::fs::create_dir_all(dir).map_err(CheckpointError::from)?;
+        let path = shard_checkpoint_path(dir, shard);
+        let pipe = &mut self.pipes[shard];
+        match pipe.restore_checkpoint(&path) {
+            Ok(()) => {}
+            Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        // Lease fencing: a checkpoint stamped by a newer assignment means
+        // this lease was reassigned out from under the caller.
+        if pipe.lease_epoch() > epoch {
+            return Err(LeaseError::FencedEpoch {
+                held: epoch,
+                found: pipe.lease_epoch(),
+            });
+        }
+        pipe.set_lease_epoch(epoch);
+        // Crash hygiene, lease-scoped: sweep only *this shard's* staging
+        // file, and only after the fence check. Unlike the whole-dir
+        // sweep in `train_batch_durable` (a single-process entry point),
+        // this runs while sibling workers may be mid-`atomic_write` in
+        // the same directory — deleting *their* staging files would fail
+        // their renames. The lease gives us unique live ownership of
+        // this shard, so the only `shard<N>.ckpt.tmp` we can meet is a
+        // dead predecessor's orphan.
+        {
+            let mut tmp = path.as_os_str().to_os_string();
+            tmp.push(".tmp");
+            match std::fs::remove_file(std::path::Path::new(&tmp)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(CheckpointError::from(e).into()),
+            }
+        }
+        let layout = if pipe.fast_slab_bytes() <= CACHE_BLOCK_BYTES {
+            FastLayout::ActionMajor
+        } else {
+            FastLayout::StateMajor
+        };
+        // Lease chunks are the deterministic executor chunk, but never
+        // coarser than the checkpoint cadence — otherwise a small lease
+        // would run whole between durable saves and the progress
+        // callback (the caller's heartbeat) would never fire mid-lease.
+        let chunk = chunk_samples(
+            target_samples.saturating_sub(pipe.stats().samples),
+            pipe.num_states(),
+            pipe.num_actions(),
+        )
+        .min(checkpoint_every)
+        .max(1);
+        while pipe.stats().samples < target_samples {
+            let before = pipe.stats().samples;
+            let take = chunk.min(target_samples - before);
+            pipe.run_samples_fast_planned(env, take, layout);
+            let after = pipe.stats().samples;
+            if before / checkpoint_every != after / checkpoint_every {
+                pipe.save_checkpoint(&path)?;
+            }
+            if !progress(after) {
+                return Ok(after);
+            }
+        }
+        // Seal: the lease's final state is durable under this epoch.
+        pipe.save_checkpoint(&path)?;
+        Ok(pipe.stats().samples)
+    }
+
     /// Cumulative iterations dropped by the attached sinks, summed
     /// across banks (see [`BatchReport::dropped_iterations`]).
     pub fn dropped_iterations(&self) -> u64 {
@@ -1247,6 +1401,18 @@ impl<V: QValue, S: TraceSink> IndependentPipelines<V, S> {
             merged.merge(probe);
         }
         Some(merged)
+    }
+
+    /// Restore pipeline `i` from a checkpoint file — the read side of
+    /// the durable-batch/lease protocol, exposed so a supervisor can
+    /// reload every shard's sealed image after a cluster run and compare
+    /// it against the single-process reference.
+    pub fn restore_shard_checkpoint(
+        &mut self,
+        i: usize,
+        path: &Path,
+    ) -> Result<(), CheckpointError> {
+        self.pipes[i].restore_checkpoint(path)
     }
 
     /// Access pipeline `i`'s learned Q-table.

@@ -443,6 +443,10 @@ pub struct AccelPipeline<V, S: TraceSink = NullSink> {
     // writeback hook is one branch on the option, and the unquantized
     // fast paths stay engaged — DESIGN.md §2.14).
     quant: Option<QuantRt>,
+    // Lease-fencing epoch (DESIGN.md §2.16): the cluster worker stamps
+    // this before each durable save so a checkpoint names the
+    // assignment epoch it was written under. 0 outside cluster runs.
+    lease_epoch: u64,
 }
 
 impl<V: QValue> AccelPipeline<V> {
@@ -532,6 +536,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             sink,
             fault: None,
             quant: None,
+            lease_epoch: 0,
         }
     }
 
@@ -2710,6 +2715,13 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                 w.push(qr.rng.peek() as u64);
             }
         }
+        // Lease-epoch section (trailing, same absent-tag scheme). Only
+        // written when non-zero so non-cluster checkpoints stay
+        // byte-identical to what earlier releases wrote.
+        if self.lease_epoch != 0 {
+            w.push(1);
+            w.push(self.lease_epoch);
+        }
         w.finish()
     }
 
@@ -2903,6 +2915,13 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
                 rng,
             })
         };
+        // Lease-epoch section. Absent (older or non-cluster checkpoint)
+        // means epoch 0.
+        let lease_epoch = if r.remaining() == 0 || r.next()? == 0 {
+            0
+        } else {
+            r.next()?
+        };
 
         // Commit.
         self.stats = stats;
@@ -2939,6 +2958,7 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
             self.rewards.map_values(|v| policy.round_nearest(v));
         }
         self.quant = quant;
+        self.lease_epoch = lease_epoch;
         // Derived caches embed rewards / stored codes.
         self.fast_image = None;
         self.tr_image = None;
@@ -2969,6 +2989,21 @@ impl<V: QValue, S: TraceSink> AccelPipeline<V, S> {
     pub fn restore_checkpoint(&mut self, path: &Path) -> Result<(), CheckpointError> {
         let bytes = std::fs::read(path)?;
         self.restore_checkpoint_bytes(&bytes)
+    }
+
+    /// The lease-fencing epoch the pipeline currently trains under
+    /// (stamped into every checkpoint it saves; 0 outside cluster runs).
+    pub fn lease_epoch(&self) -> u64 {
+        self.lease_epoch
+    }
+
+    /// Stamp the lease-fencing epoch. The cluster worker sets this when
+    /// it picks a lease up, so checkpoints written from a superseded
+    /// assignment are distinguishable from the live one. Epoch state is
+    /// metadata only — it never feeds the training datapath, so stamping
+    /// it cannot perturb bit-exactness.
+    pub fn set_lease_epoch(&mut self, epoch: u64) {
+        self.lease_epoch = epoch;
     }
 }
 

@@ -225,3 +225,137 @@ fn shape_and_format_mismatches_are_typed() {
 
     let _ = std::fs::remove_file(&path);
 }
+
+// ---------------------------------------------------------------------
+// Cluster-era durability: orphaned staging files and lease fencing
+// (DESIGN.md §2.16).
+
+#[test]
+fn durable_batch_cleans_planted_orphan_tmp_and_still_resumes_exactly() {
+    use qtaccel_accel::{AccelConfig, IndependentPipelines};
+    use qtaccel_envs::PartitionedGrid;
+    let mut rng = qtaccel_hdl::lfsr::Lfsr32::new(21);
+    let part = PartitionedGrid::new(16, 16, 2, 2, 10, ActionSet::Four, &mut rng);
+    let dir = std::env::temp_dir().join(format!(
+        "qtaccel-orphan-tmp-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut full = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    full.train_batch(part.partitions(), 40_000);
+
+    // First durable leg, then simulate a kill mid-save: plant an
+    // orphaned staging file exactly where atomic_write stages.
+    let mut leg1 = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    leg1.train_batch_durable(part.partitions(), 24_000, &dir, 4_096)
+        .expect("leg 1");
+    std::fs::write(dir.join("shard0.ckpt.tmp"), b"half-written garbage").expect("plant orphan");
+
+    // The resume leg must sweep the orphan, ignore it as state, and
+    // still finish bit-identical to the uninterrupted reference.
+    let mut leg2 = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    let r2 = leg2
+        .train_batch_durable(part.partitions(), 40_000, &dir, 4_096)
+        .expect("leg 2 despite orphan");
+    assert_eq!(r2.stats.samples, 40_000);
+    assert!(
+        !dir.join("shard0.ckpt.tmp").exists(),
+        "orphan staging file must be swept"
+    );
+    for i in 0..4 {
+        assert_eq!(leg2.q_table(i), full.q_table(i), "bank {i} q");
+        assert_eq!(leg2.qmax_table(i), full.qmax_table(i), "bank {i} qmax");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn lease_epoch_survives_the_checkpoint_round_trip() {
+    let g = grid();
+    let cfg = AccelConfig::default().with_seed(0x1EA5E);
+    let mut a = qtaccel_accel::AccelPipeline::<Q8_8>::new(&g, cfg, 0);
+    a.run_samples(&g, 1_000);
+    assert_eq!(a.lease_epoch(), 0, "non-cluster runs stay at epoch 0");
+    a.set_lease_epoch(3);
+    let path = tmp("epoch");
+    a.save_checkpoint(&path).expect("save");
+    let mut b = qtaccel_accel::AccelPipeline::<Q8_8>::new(&g, cfg, 0);
+    b.restore_checkpoint(&path).expect("restore");
+    assert_eq!(b.lease_epoch(), 3, "epoch round-trips");
+    assert_eq!(b.q_table(), a.q_table(), "state round-trips with it");
+    // Epoch-0 checkpoints stay byte-identical to the pre-epoch format:
+    // the trailing section is only written when non-zero.
+    a.set_lease_epoch(0);
+    let plain = a.checkpoint_bytes();
+    a.set_lease_epoch(7);
+    let stamped = a.checkpoint_bytes();
+    assert_eq!(stamped.len(), plain.len() + 16, "tag + epoch words");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn zombie_lease_is_fenced_before_it_can_train_or_write() {
+    use qtaccel_accel::{AccelConfig, IndependentPipelines, LeaseError};
+    use qtaccel_envs::PartitionedGrid;
+    let mut rng = qtaccel_hdl::lfsr::Lfsr32::new(5);
+    let part = PartitionedGrid::new(16, 8, 2, 1, 0, ActionSet::Four, &mut rng);
+    let dir = std::env::temp_dir().join(format!("qtaccel-fence-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The live assignment drives shard 0 to completion under epoch 2.
+    let mut live = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    let done = live
+        .train_shard_durable(0, part.partition(0), 20_000, 2, &dir, 4_096, |_| true)
+        .expect("live lease");
+    assert_eq!(done, 20_000);
+    let sealed = live.q_table(0);
+
+    // A zombie holding the superseded epoch 1 replays the lease: it
+    // must be refused with the typed fencing error, and the sealed
+    // state on disk must be untouched.
+    let mut zombie = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    match zombie.train_shard_durable(0, part.partition(0), 20_000, 1, &dir, 4_096, |_| true) {
+        Err(LeaseError::FencedEpoch { held: 1, found: 2 }) => {}
+        other => panic!("expected FencedEpoch, got {other:?}"),
+    }
+    let mut check = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    check
+        .train_shard_durable(0, part.partition(0), 20_000, 2, &dir, 4_096, |_| true)
+        .expect("already-sealed lease is a no-op restore");
+    assert_eq!(check.q_table(0), sealed, "zombie perturbed nothing");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shard_lease_resumes_after_cooperative_abandon_bit_exactly() {
+    use qtaccel_accel::{AccelConfig, IndependentPipelines};
+    use qtaccel_envs::PartitionedGrid;
+    let mut rng = qtaccel_hdl::lfsr::Lfsr32::new(13);
+    let part = PartitionedGrid::new(16, 8, 2, 1, 0, ActionSet::Four, &mut rng);
+    let dir = std::env::temp_dir().join(format!("qtaccel-lease-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Reference: one uninterrupted lease.
+    let mut reference = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    reference
+        .train_shard_durable(0, part.partition(0), 30_000, 1, &dir.join("ref"), 2_048, |_| true)
+        .expect("reference lease");
+
+    // Worker 1 abandons after the first progress callback (its last
+    // periodic checkpoint survives); worker 2 picks the lease up under
+    // the next epoch and finishes.
+    let mut w1 = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    let partial = w1
+        .train_shard_durable(0, part.partition(0), 30_000, 1, &dir, 2_048, |_| false)
+        .expect("abandoned lease");
+    assert!(partial > 0 && partial < 30_000, "abandoned mid-lease at {partial}");
+    let mut w2 = IndependentPipelines::<Q8_8>::new(part.partitions(), AccelConfig::default());
+    let done = w2
+        .train_shard_durable(0, part.partition(0), 30_000, 2, &dir, 2_048, |_| true)
+        .expect("takeover lease");
+    assert_eq!(done, 30_000);
+    assert_eq!(w2.q_table(0), reference.q_table(0), "takeover is bit-exact");
+    assert_eq!(w2.qmax_table(0), reference.qmax_table(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,647 @@
+//! The supervising coordinator.
+//!
+//! One listener, one connection thread per worker session, one
+//! supervisor thread. The coordinator owns the *lease table*: every
+//! shard of the spec is one lease with a budget, a fencing epoch and an
+//! assignment state. Connection threads hand out free leases, account
+//! progress, and merge exactly one `LeaseDone` delta per lease; the
+//! supervisor enforces heartbeat deadlines on a monotonic clock and
+//! releases the leases of workers that went quiet.
+//!
+//! ## Fencing invariant
+//!
+//! The epoch counter of a lease bumps on every transition — assignment
+//! *and* death-release — so an epoch number uniquely identifies one
+//! live assignment. A frame carrying any other epoch (a zombie replay,
+//! a late completion from a presumed-dead worker) is refused with
+//! `Goodbye{REFUSED}` and merged **zero** times. Because every accepted
+//! `LeaseDone` delta carries the lease's whole contribution from shard
+//! birth and a lease is marked `Done` on first accept, the merged
+//! registry's `qtaccel_samples_total` equals the spec budget exactly —
+//! no matter how many workers died on the way.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use qtaccel_telemetry::wire::{goodbye_reason, CAP_LEASE_V1};
+use qtaccel_telemetry::{FramePayload, MetricsRegistry, WireClient, WireError};
+
+use crate::spec::ClusterSpec;
+
+/// How often connection threads poll their socket and the shared state.
+const POLL: Duration = Duration::from_millis(20);
+/// How often the supervisor scans for expired heartbeat deadlines.
+const SCAN: Duration = Duration::from_millis(15);
+
+/// Supervision knobs. Defaults suit an interactive localhost cluster;
+/// tests shrink the timeout to force the deadline path quickly.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorConfig {
+    /// A lease whose holder sends neither progress nor heartbeat for
+    /// this long is declared dead and its lease released for
+    /// reassignment.
+    pub heartbeat_timeout: Duration,
+    /// How long a freshly accepted connection may take to send `Hello`.
+    pub handshake_timeout: Duration,
+    /// Retry budget per lease: more reassignments than this marks the
+    /// run failed (a poisoned shard must not spin forever).
+    pub max_reassignments: u64,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_timeout: Duration::from_millis(1_000),
+            handshake_timeout: Duration::from_secs(5),
+            max_reassignments: 32,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Assignment {
+    /// Unassigned: hand to the next idle session.
+    Free,
+    /// Held by connection `conn`; quiet past `deadline` means dead.
+    Assigned { conn: u64, deadline: Instant },
+    /// Completed and merged. Terminal.
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct LeaseState {
+    budget: u64,
+    /// Fencing epoch: bumps on every assignment and every
+    /// death-release, so one epoch value = one live assignment.
+    epoch: u64,
+    /// Latest progress report (informational; `Done` is authoritative).
+    samples: u64,
+    assignment: Assignment,
+    reassignments: u64,
+    /// Set at death-detection; cleared by the first accepted frame of
+    /// the replacement assignment (recovery-latency measurement).
+    pending_since: Option<Instant>,
+}
+
+struct CoordState {
+    leases: Vec<LeaseState>,
+    merged: MetricsRegistry,
+    done: usize,
+    failed: bool,
+    workers_connected: u64,
+    workers_presumed_dead: u64,
+    deadline_expirations: u64,
+    leases_reassigned: u64,
+    refused_frames: u64,
+    decode_errors: u64,
+    recovery_ms: Vec<f64>,
+}
+
+impl CoordState {
+    /// Release `lease` back to the free pool because its holder died.
+    /// The epoch bump here is the fence: anything the dead holder sends
+    /// later carries a stale epoch and is refused.
+    fn release_dead(&mut self, lease: usize, max_reassignments: u64, now: Instant) {
+        let ls = &mut self.leases[lease];
+        ls.epoch += 1;
+        ls.assignment = Assignment::Free;
+        ls.pending_since = Some(now);
+        ls.reassignments += 1;
+        self.leases_reassigned += 1;
+        self.workers_presumed_dead += 1;
+        if ls.reassignments > max_reassignments {
+            self.failed = true;
+        }
+    }
+}
+
+/// A point-in-time public view of the run (cloned out of the lock).
+#[derive(Debug, Clone)]
+pub struct ClusterStatus {
+    /// Per-lease `(epoch, latest progress, done?)`.
+    pub leases: Vec<(u64, u64, bool)>,
+    /// Completed leases.
+    pub done: usize,
+    /// All leases completed and merged.
+    pub complete: bool,
+    /// A lease exhausted its reassignment budget; the run aborted.
+    pub failed: bool,
+    /// Sessions that got past the handshake.
+    pub workers_connected: u64,
+    /// Death events (deadline expiry or mid-lease disconnect).
+    pub workers_presumed_dead: u64,
+    /// Deaths detected specifically by heartbeat-deadline expiry.
+    pub deadline_expirations: u64,
+    /// Leases released for reassignment after a death.
+    pub leases_reassigned: u64,
+    /// Frames refused by epoch fencing or protocol violation.
+    pub refused_frames: u64,
+    /// Wire decode failures (torn frames, bad CRC, garbage).
+    pub decode_errors: u64,
+    /// Death-detection → first-accepted-replacement-frame latencies.
+    pub recovery_ms: Vec<f64>,
+}
+
+/// The supervising coordinator: owns the listener, the lease table and
+/// the supervisor thread. Dropping it stops every thread.
+pub struct Coordinator {
+    addr: SocketAddr,
+    state: Arc<Mutex<CoordState>>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start supervising the
+    /// spec's leases. Workers may connect immediately.
+    pub fn serve(
+        spec: &ClusterSpec,
+        cfg: CoordinatorConfig,
+        addr: &str,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(Mutex::new(CoordState {
+            leases: spec
+                .budgets()
+                .into_iter()
+                .map(|budget| LeaseState {
+                    budget,
+                    epoch: 0,
+                    samples: 0,
+                    assignment: Assignment::Free,
+                    reassignments: 0,
+                    pending_since: None,
+                })
+                .collect(),
+            merged: MetricsRegistry::new(),
+            done: 0,
+            failed: false,
+            workers_connected: 0,
+            workers_presumed_dead: 0,
+            deadline_expirations: 0,
+            leases_reassigned: 0,
+            refused_frames: 0,
+            decode_errors: 0,
+            recovery_ms: Vec::new(),
+        }));
+        let stop = Arc::new(AtomicBool::new(false));
+        let spec_hash = spec.hash();
+        let checkpoint_every = spec.checkpoint_every;
+
+        let accept = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut next_conn: u64 = 1;
+                for incoming in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match incoming {
+                        Ok(s) => s,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => break,
+                    };
+                    let conn = next_conn;
+                    next_conn += 1;
+                    let state = Arc::clone(&state);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        serve_conn(stream, conn, state, stop, cfg, spec_hash, checkpoint_every);
+                    });
+                }
+            })
+        };
+
+        let supervisor = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    std::thread::sleep(SCAN);
+                    let now = Instant::now();
+                    let mut st = state.lock().expect("coordinator state poisoned");
+                    let expired: Vec<usize> = st
+                        .leases
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, ls)| match ls.assignment {
+                            Assignment::Assigned { deadline, .. } if now > deadline => Some(i),
+                            _ => None,
+                        })
+                        .collect();
+                    for i in expired {
+                        st.deadline_expirations += 1;
+                        st.release_dead(i, cfg.max_reassignments, now);
+                    }
+                }
+            })
+        };
+
+        Ok(Self {
+            addr: local,
+            state,
+            stop,
+            accept: Some(accept),
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The bound address workers should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current run status (cloned snapshot).
+    pub fn status(&self) -> ClusterStatus {
+        let st = self.state.lock().expect("coordinator state poisoned");
+        ClusterStatus {
+            leases: st
+                .leases
+                .iter()
+                .map(|l| (l.epoch, l.samples, l.assignment == Assignment::Done))
+                .collect(),
+            done: st.done,
+            complete: st.done == st.leases.len(),
+            failed: st.failed,
+            workers_connected: st.workers_connected,
+            workers_presumed_dead: st.workers_presumed_dead,
+            deadline_expirations: st.deadline_expirations,
+            leases_reassigned: st.leases_reassigned,
+            refused_frames: st.refused_frames,
+            decode_errors: st.decode_errors,
+            recovery_ms: st.recovery_ms.clone(),
+        }
+    }
+
+    /// Block until every lease is done (true) or `timeout` elapses or
+    /// the run fails (false either way — check [`Coordinator::status`]).
+    pub fn wait_complete(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            {
+                let st = self.state.lock().expect("coordinator state poisoned");
+                if st.done == st.leases.len() {
+                    return true;
+                }
+                if st.failed {
+                    return false;
+                }
+            }
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// The exactly-once merged registry across every accepted lease.
+    pub fn merged_registry(&self) -> MetricsRegistry {
+        self.state
+            .lock()
+            .expect("coordinator state poisoned")
+            .merged
+            .clone()
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervisor.take() {
+            let _ = h.join();
+        }
+        // Connection threads observe `stop` within one POLL tick and
+        // exit on their own; they hold only Arc clones.
+    }
+}
+
+/// What the idle-session lease scan decided.
+enum Handout {
+    Assign { lease: u64, epoch: u64, budget: u64 },
+    Wait,
+    Complete,
+    Failed,
+}
+
+fn try_assign(st: &mut CoordState, conn: u64, heartbeat_timeout: Duration) -> Handout {
+    if st.failed {
+        return Handout::Failed;
+    }
+    if st.done == st.leases.len() {
+        return Handout::Complete;
+    }
+    for (i, ls) in st.leases.iter_mut().enumerate() {
+        if ls.assignment == Assignment::Free {
+            ls.epoch += 1;
+            ls.assignment = Assignment::Assigned {
+                conn,
+                deadline: Instant::now() + heartbeat_timeout,
+            };
+            return Handout::Assign {
+                lease: i as u64,
+                epoch: ls.epoch,
+                budget: ls.budget,
+            };
+        }
+    }
+    Handout::Wait
+}
+
+/// One worker session. Returns when the peer disconnects, violates the
+/// protocol, the run completes, or the coordinator stops.
+fn serve_conn(
+    stream: TcpStream,
+    conn: u64,
+    state: Arc<Mutex<CoordState>>,
+    stop: Arc<AtomicBool>,
+    cfg: CoordinatorConfig,
+    spec_hash: u64,
+    checkpoint_every: u64,
+) {
+    let mut session = match WireClient::from_stream(stream, 0) {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+
+    // Handshake: the first frame must be Hello.
+    let hello_deadline = Instant::now() + cfg.handshake_timeout;
+    loop {
+        match session.recv_timeout(POLL) {
+            Ok(Some(frame)) => match frame.payload {
+                FramePayload::Hello { .. } => break,
+                _ => {
+                    let mut st = state.lock().expect("coordinator state poisoned");
+                    st.refused_frames += 1;
+                    drop(st);
+                    let _ = session.send(FramePayload::Goodbye {
+                        reason: goodbye_reason::REFUSED,
+                    });
+                    return;
+                }
+            },
+            Ok(None) => {
+                if stop.load(Ordering::SeqCst) || Instant::now() > hello_deadline {
+                    return;
+                }
+            }
+            Err(e) => {
+                count_decode_error(&state, &e);
+                return;
+            }
+        }
+    }
+    state
+        .lock()
+        .expect("coordinator state poisoned")
+        .workers_connected += 1;
+    if session
+        .send(FramePayload::HelloAck {
+            capabilities: CAP_LEASE_V1,
+            spec_hash,
+        })
+        .is_err()
+    {
+        return;
+    }
+
+    // (lease index, epoch we assigned it under) currently held by this
+    // session — used to release on disconnect, and *only* if the lease
+    // is still ours (the supervisor may have reassigned it already).
+    let mut held: Option<(usize, u64)> = None;
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            let _ = session.send(FramePayload::Goodbye {
+                reason: goodbye_reason::SHUTDOWN,
+            });
+            return;
+        }
+
+        if held.is_none() {
+            let decision = {
+                let mut st = state.lock().expect("coordinator state poisoned");
+                try_assign(&mut st, conn, cfg.heartbeat_timeout)
+            };
+            match decision {
+                Handout::Assign {
+                    lease,
+                    epoch,
+                    budget,
+                } => {
+                    held = Some((lease as usize, epoch));
+                    if session
+                        .send(FramePayload::Lease {
+                            lease,
+                            epoch,
+                            budget,
+                            checkpoint_every,
+                        })
+                        .is_err()
+                    {
+                        release_if_mine(&state, held.take(), conn, cfg.max_reassignments);
+                        return;
+                    }
+                }
+                Handout::Complete => {
+                    let _ = session.send(FramePayload::Goodbye {
+                        reason: goodbye_reason::COMPLETE,
+                    });
+                    return;
+                }
+                Handout::Failed => {
+                    let _ = session.send(FramePayload::Goodbye {
+                        reason: goodbye_reason::SHUTDOWN,
+                    });
+                    return;
+                }
+                Handout::Wait => {}
+            }
+        }
+
+        match session.recv_timeout(POLL) {
+            Ok(Some(frame)) => {
+                if !handle_frame(frame.payload, &mut session, &state, conn, &mut held, &cfg) {
+                    return;
+                }
+            }
+            Ok(None) => {
+                // The supervisor may have taken our lease away while the
+                // peer was quiet; forget it so the next loop iteration
+                // can hand out fresh work if the peer speaks again.
+                if let Some((lease, epoch)) = held {
+                    let st = state.lock().expect("coordinator state poisoned");
+                    let ls = &st.leases[lease];
+                    let still_mine = ls.epoch == epoch
+                        && matches!(ls.assignment, Assignment::Assigned { conn: c, .. } if c == conn);
+                    if !still_mine {
+                        held = None;
+                    }
+                }
+            }
+            Err(e) => {
+                count_decode_error(&state, &e);
+                release_if_mine(&state, held.take(), conn, cfg.max_reassignments);
+                return;
+            }
+        }
+    }
+}
+
+fn count_decode_error(state: &Arc<Mutex<CoordState>>, e: &WireError) {
+    // A clean close at a frame boundary is a disconnect, not a decode
+    // failure; everything else (torn frame, bad CRC, garbage) counts.
+    let clean_eof =
+        matches!(e, WireError::Io(io) if io.kind() == std::io::ErrorKind::UnexpectedEof);
+    if !clean_eof {
+        state
+            .lock()
+            .expect("coordinator state poisoned")
+            .decode_errors += 1;
+    }
+}
+
+/// Release `held` back to the free pool iff this connection still owns
+/// it under the epoch it was assigned (death-by-disconnect path).
+fn release_if_mine(
+    state: &Arc<Mutex<CoordState>>,
+    held: Option<(usize, u64)>,
+    conn: u64,
+    max_reassignments: u64,
+) {
+    let Some((lease, epoch)) = held else { return };
+    let mut st = state.lock().expect("coordinator state poisoned");
+    let ls = &st.leases[lease];
+    let still_mine = ls.epoch == epoch
+        && matches!(ls.assignment, Assignment::Assigned { conn: c, .. } if c == conn);
+    if still_mine {
+        st.release_dead(lease, max_reassignments, Instant::now());
+    }
+}
+
+/// Process one inbound frame. Returns false when the session must end.
+fn handle_frame(
+    payload: FramePayload,
+    session: &mut WireClient,
+    state: &Arc<Mutex<CoordState>>,
+    conn: u64,
+    held: &mut Option<(usize, u64)>,
+    cfg: &CoordinatorConfig,
+) -> bool {
+    match payload {
+        FramePayload::Progress {
+            lease,
+            epoch,
+            samples,
+        } => {
+            let lease = lease as usize;
+            let mut st = state.lock().expect("coordinator state poisoned");
+            let ok = st.leases.get(lease).is_some_and(|ls| {
+                ls.epoch == epoch
+                    && matches!(ls.assignment, Assignment::Assigned { conn: c, .. } if c == conn)
+            });
+            if !ok {
+                st.refused_frames += 1;
+                drop(st);
+                let _ = session.send(FramePayload::Goodbye {
+                    reason: goodbye_reason::REFUSED,
+                });
+                return false;
+            }
+            let ls = &mut st.leases[lease];
+            ls.samples = samples;
+            ls.assignment = Assignment::Assigned {
+                conn,
+                deadline: Instant::now() + cfg.heartbeat_timeout,
+            };
+            if let Some(since) = ls.pending_since.take() {
+                let ms = since.elapsed().as_secs_f64() * 1_000.0;
+                st.recovery_ms.push(ms);
+            }
+            true
+        }
+        FramePayload::Heartbeat { .. } => {
+            if let Some((lease, epoch)) = *held {
+                let mut st = state.lock().expect("coordinator state poisoned");
+                let ls = &mut st.leases[lease];
+                if ls.epoch == epoch {
+                    if let Assignment::Assigned { conn: c, .. } = ls.assignment {
+                        if c == conn {
+                            ls.assignment = Assignment::Assigned {
+                                conn,
+                                deadline: Instant::now() + cfg.heartbeat_timeout,
+                            };
+                        }
+                    }
+                }
+            }
+            true
+        }
+        FramePayload::LeaseDone {
+            lease,
+            epoch,
+            samples,
+            delta,
+        } => {
+            let lease_idx = lease as usize;
+            let mut st = state.lock().expect("coordinator state poisoned");
+            let accept = st
+                .leases
+                .get(lease_idx)
+                .is_some_and(|ls| ls.epoch == epoch && ls.assignment != Assignment::Done);
+            if !accept {
+                // Zombie replay or double-completion: refuse, merge
+                // nothing, end the session. Exactly-once holds.
+                st.refused_frames += 1;
+                drop(st);
+                let _ = session.send(FramePayload::Goodbye {
+                    reason: goodbye_reason::REFUSED,
+                });
+                return false;
+            }
+            st.merged.merge(&delta);
+            st.done += 1;
+            let ls = &mut st.leases[lease_idx];
+            ls.assignment = Assignment::Done;
+            ls.samples = samples;
+            if let Some(since) = ls.pending_since.take() {
+                let ms = since.elapsed().as_secs_f64() * 1_000.0;
+                st.recovery_ms.push(ms);
+            }
+            if *held == Some((lease_idx, epoch)) {
+                *held = None;
+            }
+            true
+        }
+        FramePayload::Goodbye { .. } => {
+            // Cooperative exit: a lease the worker still held goes back
+            // to the pool (epoch-bumped, so nothing it sent later could
+            // merge anyway — but it said goodbye, it won't).
+            release_if_mine(state, held.take(), conn, cfg.max_reassignments);
+            false
+        }
+        // Everything else is a protocol violation from a worker
+        // (coordinator-direction frames, duplicate hello, raw metrics on
+        // the control port): refuse and drop the session.
+        _ => {
+            state
+                .lock()
+                .expect("coordinator state poisoned")
+                .refused_frames += 1;
+            let _ = session.send(FramePayload::Goodbye {
+                reason: goodbye_reason::REFUSED,
+            });
+            false
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! End-to-end cluster fault-tolerance suite (DESIGN.md §2.16).
+//!
+//! Every test stands up a real coordinator on a loopback socket and
+//! real workers on threads, then injects one failure class and asserts
+//! the two contract halves: the run completes, and the final merged
+//! state is *bit-identical* to the single-process reference with
+//! `qtaccel_samples_total` equal to the budget exactly.
+//!
+//! Threads cannot be SIGKILLed, so worker death here is cooperative
+//! (dropped connections, silent stalls); the `bench_distributed
+//! --chaos` harness exercises the same paths with real SIGKILL against
+//! child processes.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use qtaccel_cluster::{
+    run_worker, ChaosMode, ClusterError, ClusterSpec, Coordinator, CoordinatorConfig, WorkerClose,
+    WorkerConfig,
+};
+use qtaccel_telemetry::wire::goodbye_reason;
+use qtaccel_telemetry::{FramePayload, MetricValue, WireClient};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qtaccel-cluster-{}-{}",
+        name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mk tmpdir");
+    dir
+}
+
+fn spec() -> ClusterSpec {
+    ClusterSpec {
+        seed: 0xD15C,
+        width: 16,
+        height: 16,
+        tiles_x: 2,
+        tiles_y: 2,
+        obstacle_pct: 10,
+        total_samples: 60_000,
+        checkpoint_every: 2_048,
+    }
+}
+
+fn snappy(cfg_timeout_ms: u64) -> CoordinatorConfig {
+    CoordinatorConfig {
+        heartbeat_timeout: Duration::from_millis(cfg_timeout_ms),
+        handshake_timeout: Duration::from_secs(5),
+        max_reassignments: 32,
+    }
+}
+
+fn samples_total(reg: &qtaccel_telemetry::MetricsRegistry) -> u64 {
+    match reg.get("qtaccel_samples_total") {
+        Some(MetricValue::Counter(v)) => *v,
+        other => panic!("qtaccel_samples_total missing or mistyped: {other:?}"),
+    }
+}
+
+/// Restore the sealed images and diff them bit-for-bit against the
+/// single-process reference.
+fn assert_bit_exact(s: &ClusterSpec, dir: &std::path::Path) {
+    let reference = s.reference_tables();
+    let cluster = s.restore_final_tables(dir).expect("restore sealed shards");
+    assert_eq!(reference.len(), cluster.len());
+    for (i, ((rq, rm), (cq, cm))) in reference.iter().zip(cluster.iter()).enumerate() {
+        assert_eq!(rq, cq, "shard {i}: Q-table diverged from reference");
+        assert_eq!(rm, cm, "shard {i}: Qmax table diverged from reference");
+    }
+}
+
+#[test]
+fn clean_run_matches_single_process_reference_bit_for_bit() {
+    let s = spec();
+    let dir = tmp("clean");
+    let coord = Coordinator::serve(&s, snappy(1_000), "127.0.0.1:0").expect("serve");
+    let addr = coord.addr().to_string();
+
+    let workers: Vec<_> = (0..3)
+        .map(|w| {
+            let cfg = WorkerConfig::new(addr.clone(), w + 1, dir.clone());
+            std::thread::spawn(move || run_worker(&s, &cfg))
+        })
+        .collect();
+
+    assert!(coord.wait_complete(Duration::from_secs(30)), "run stalled");
+    for h in workers {
+        let report = h.join().expect("worker thread").expect("worker ok");
+        assert_eq!(report.close, WorkerClose::RunComplete);
+    }
+
+    let status = coord.status();
+    assert!(status.complete && !status.failed);
+    assert_eq!(status.done, s.shards());
+    assert_eq!(status.workers_connected, 3);
+    assert_eq!(samples_total(&coord.merged_registry()), s.total_samples);
+    assert_bit_exact(&s, &dir);
+}
+
+#[test]
+fn abandoned_lease_is_reassigned_and_stays_bit_exact() {
+    let s = spec();
+    let dir = tmp("abandon");
+    let coord = Coordinator::serve(&s, snappy(600), "127.0.0.1:0").expect("serve");
+    let addr = coord.addr().to_string();
+
+    // The saboteur connects first so it is guaranteed a lease, trains a
+    // little past one checkpoint, then drops the connection cold.
+    let saboteur = {
+        let mut cfg = WorkerConfig::new(addr.clone(), 1, dir.clone());
+        cfg.chaos = ChaosMode::AbandonAfter { at_samples: 4_000 };
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let survivor = {
+        let cfg = WorkerConfig::new(addr.clone(), 2, dir.clone());
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+
+    assert!(coord.wait_complete(Duration::from_secs(30)), "run stalled");
+    let sab = saboteur.join().expect("thread").expect("saboteur ok");
+    assert_eq!(sab.close, WorkerClose::ChaosAbandoned);
+    let sur = survivor.join().expect("thread").expect("survivor ok");
+    assert_eq!(sur.close, WorkerClose::RunComplete);
+
+    let status = coord.status();
+    assert!(status.complete && !status.failed);
+    assert!(
+        status.leases_reassigned >= 1,
+        "the abandoned lease must have been reassigned: {status:?}"
+    );
+    // Exactly-once despite the partial predecessor: the whole-lease
+    // delta of the survivor covers the checkpointed prefix too.
+    assert_eq!(samples_total(&coord.merged_registry()), s.total_samples);
+    assert_bit_exact(&s, &dir);
+}
+
+#[test]
+fn heartbeat_deadline_reassigns_a_partitioned_worker() {
+    let s = spec();
+    let dir = tmp("stall");
+    // Short deadline so the partition is detected fast.
+    let coord = Coordinator::serve(&s, snappy(300), "127.0.0.1:0").expect("serve");
+    let addr = coord.addr().to_string();
+
+    // The stalled worker takes a lease and then goes completely silent
+    // — no progress, no heartbeats, no goodbye: a network partition.
+    let stalled = {
+        let mut cfg = WorkerConfig::new(addr.clone(), 1, dir.clone());
+        cfg.chaos = ChaosMode::StallAfterLease {
+            dwell: Duration::from_millis(1_500),
+        };
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let survivor = {
+        let cfg = WorkerConfig::new(addr.clone(), 2, dir.clone());
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+
+    assert!(coord.wait_complete(Duration::from_secs(30)), "run stalled");
+    let st = stalled.join().expect("thread").expect("stalled ok");
+    assert_eq!(st.close, WorkerClose::ChaosStalled);
+    let sur = survivor.join().expect("thread").expect("survivor ok");
+    assert_eq!(sur.close, WorkerClose::RunComplete);
+
+    let status = coord.status();
+    assert!(status.complete && !status.failed);
+    assert!(
+        status.deadline_expirations >= 1,
+        "death must have been detected by the heartbeat deadline: {status:?}"
+    );
+    assert!(
+        !status.recovery_ms.is_empty(),
+        "recovery latency must have been measured: {status:?}"
+    );
+    assert_eq!(samples_total(&coord.merged_registry()), s.total_samples);
+    assert_bit_exact(&s, &dir);
+}
+
+#[test]
+fn zombie_replay_of_a_reassigned_lease_is_refused_not_merged_twice() {
+    let s = spec();
+    let dir = tmp("zombie");
+    let coord = Coordinator::serve(&s, snappy(250), "127.0.0.1:0").expect("serve");
+    let addr = coord.addr().to_string();
+
+    // The zombie takes a lease, plays dead past the deadline (its
+    // lease is death-released, which bumps the fencing epoch), then
+    // replays a forged completion under its stale epoch. No other
+    // worker is connected yet, so the run cannot complete early and
+    // the refusal is observable on the zombie's own session.
+    let zombie = {
+        let mut cfg = WorkerConfig::new(addr.clone(), 1, dir.clone());
+        cfg.chaos = ChaosMode::Zombie {
+            dwell: Duration::from_millis(600),
+        };
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+    let z = zombie.join().expect("thread").expect("zombie close ok");
+    assert_eq!(
+        z.close,
+        WorkerClose::Refused,
+        "the stale replay must be refused with a typed goodbye"
+    );
+    assert_eq!(z.leases_completed, 0);
+
+    // Only now does honest help arrive and finish the whole budget.
+    let survivor = {
+        let cfg = WorkerConfig::new(addr.clone(), 2, dir.clone());
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+    assert!(coord.wait_complete(Duration::from_secs(30)), "run stalled");
+    let sur = survivor.join().expect("thread").expect("survivor ok");
+    assert_eq!(sur.close, WorkerClose::RunComplete);
+
+    let status = coord.status();
+    assert!(status.complete && !status.failed);
+    assert!(
+        status.refused_frames >= 1,
+        "the zombie's stale LeaseDone must be counted as refused: {status:?}"
+    );
+    // The forged delta claimed a full budget; had it merged, the total
+    // would exceed the spec budget. Exactly-once holds bit-exactly.
+    assert_eq!(samples_total(&coord.merged_registry()), s.total_samples);
+    assert_bit_exact(&s, &dir);
+}
+
+#[test]
+fn capacity_shrink_to_one_survivor_still_completes_correctly() {
+    let s = spec();
+    let dir = tmp("shrink");
+    let coord = Coordinator::serve(&s, snappy(400), "127.0.0.1:0").expect("serve");
+    let addr = coord.addr().to_string();
+
+    // Three workers; two die mid-lease at different depths. The lone
+    // survivor finishes everything: slower, never wrong.
+    let mut saboteurs = Vec::new();
+    for (w, at) in [(1, 2_500), (2, 5_000)] {
+        let mut cfg = WorkerConfig::new(addr.clone(), w, dir.clone());
+        cfg.chaos = ChaosMode::AbandonAfter { at_samples: at };
+        saboteurs.push(std::thread::spawn(move || run_worker(&s, &cfg)));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let survivor = {
+        let cfg = WorkerConfig::new(addr.clone(), 3, dir.clone());
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+
+    assert!(coord.wait_complete(Duration::from_secs(30)), "run stalled");
+    for h in saboteurs {
+        let r = h.join().expect("thread").expect("saboteur ok");
+        assert_eq!(r.close, WorkerClose::ChaosAbandoned);
+    }
+    let sur = survivor.join().expect("thread").expect("survivor ok");
+    assert_eq!(sur.close, WorkerClose::RunComplete);
+
+    let status = coord.status();
+    assert!(status.complete && !status.failed);
+    assert!(status.workers_presumed_dead >= 2, "{status:?}");
+    assert_eq!(samples_total(&coord.merged_registry()), s.total_samples);
+    assert_bit_exact(&s, &dir);
+}
+
+#[test]
+fn garbage_on_the_control_port_counts_as_decode_error_and_run_survives() {
+    let s = spec();
+    let dir = tmp("garbage");
+    let coord = Coordinator::serve(&s, snappy(800), "127.0.0.1:0").expect("serve");
+    let addr = coord.addr();
+
+    // A confused peer writes non-QTACWIRE bytes and hangs up.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(addr).expect("connect");
+        raw.write_all(b"GET / HTTP/1.1\r\n\r\n").expect("write");
+    }
+    // And a torn peer sends half a valid hello then vanishes.
+    {
+        use std::io::Write;
+        let mut probe = WireClient::connect(addr, 9, "probe").expect("probe hello");
+        // Drain our own ack so the coordinator-side session is live.
+        let _ = probe.recv_timeout(Duration::from_millis(500));
+        let mut raw = probe.try_clone_stream().expect("clone");
+        raw.write_all(b"QTACWIRE").expect("torn prefix");
+        drop(raw);
+        drop(probe);
+    }
+
+    let worker = {
+        let cfg = WorkerConfig::new(addr.to_string(), 1, dir.clone());
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+    assert!(coord.wait_complete(Duration::from_secs(30)), "run stalled");
+    let r = worker.join().expect("thread").expect("worker ok");
+    assert_eq!(r.close, WorkerClose::RunComplete);
+
+    let status = coord.status();
+    assert!(status.complete && !status.failed);
+    assert!(
+        status.decode_errors >= 1,
+        "garbage bytes must be counted as decode errors: {status:?}"
+    );
+    assert_eq!(samples_total(&coord.merged_registry()), s.total_samples);
+    assert_bit_exact(&s, &dir);
+}
+
+#[test]
+fn spec_mismatch_is_refused_before_any_training() {
+    let s = spec();
+    let dir = tmp("mismatch");
+    let coord = Coordinator::serve(&s, snappy(800), "127.0.0.1:0").expect("serve");
+    let addr = coord.addr().to_string();
+
+    // A worker launched with a different workload must refuse to start.
+    let mut wrong = spec();
+    wrong.total_samples += 1;
+    let mismatched = {
+        let cfg = WorkerConfig::new(addr.clone(), 7, dir.clone());
+        std::thread::spawn(move || run_worker(&wrong, &cfg))
+    };
+    match mismatched.join().expect("thread") {
+        Err(ClusterError::SpecMismatch { ours, theirs }) => {
+            assert_eq!(theirs, s.hash());
+            assert_eq!(ours, wrong.hash());
+        }
+        other => panic!("expected SpecMismatch, got {other:?}"),
+    }
+
+    // The run is untouched and a correct worker completes it.
+    let worker = {
+        let cfg = WorkerConfig::new(addr, 1, dir.clone());
+        std::thread::spawn(move || run_worker(&s, &cfg))
+    };
+    assert!(coord.wait_complete(Duration::from_secs(30)), "run stalled");
+    worker.join().expect("thread").expect("worker ok");
+    assert_eq!(samples_total(&coord.merged_registry()), s.total_samples);
+    assert_bit_exact(&s, &dir);
+}
+
+#[test]
+fn coordinator_refuses_metrics_frames_on_the_control_port() {
+    let s = spec();
+    let coord = Coordinator::serve(&s, snappy(800), "127.0.0.1:0").expect("serve");
+
+    let mut probe = WireClient::connect(coord.addr(), 3, "probe").expect("hello");
+    match probe.recv_timeout(Duration::from_secs(2)) {
+        Ok(Some(f)) => assert!(matches!(f.payload, FramePayload::HelloAck { .. })),
+        other => panic!("expected hello-ack, got {other:?}"),
+    }
+    // The control port is not the telemetry port: raw metrics frames
+    // are a protocol violation and end the session with REFUSED.
+    probe
+        .send(FramePayload::Metrics(
+            qtaccel_telemetry::MetricsRegistry::new(),
+        ))
+        .expect("send metrics");
+    // Skip the lease the coordinator optimistically handed us; the
+    // refusal goodbye must follow.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(std::time::Instant::now() < deadline, "no goodbye arrived");
+        match probe.recv_timeout(Duration::from_millis(100)) {
+            Ok(Some(f)) => match f.payload {
+                FramePayload::Goodbye { reason } => {
+                    assert_eq!(reason, goodbye_reason::REFUSED);
+                    break;
+                }
+                _ => continue,
+            },
+            Ok(None) => continue,
+            Err(_) => break, // session already torn down: refusal happened
+        }
+    }
+    assert!(coord.status().refused_frames >= 1);
+}

@@ -114,6 +114,16 @@ impl CollectorState {
             FramePayload::Spans(mut spans) => worker.spans.append(&mut spans),
             FramePayload::Alerts(mut alerts) => worker.alerts.append(&mut alerts),
             FramePayload::Metrics(delta) => self.registry.merge(&delta),
+            // Cluster control frames (kinds 5–10) are coordinator/worker
+            // session state, not collector telemetry: a collector that
+            // receives one accepts and accounts it (the stream stays
+            // healthy) but merges nothing.
+            FramePayload::HelloAck { .. }
+            | FramePayload::Lease { .. }
+            | FramePayload::Progress { .. }
+            | FramePayload::Heartbeat { .. }
+            | FramePayload::LeaseDone { .. }
+            | FramePayload::Goodbye { .. } => {}
         }
         self.frames_total += 1;
         Ok(())
@@ -383,6 +393,10 @@ fn serve_connection(
             }
             Ok(0) => return, // peer closed before saying anything
             Ok(_) => continue,
+            // EINTR is a retry, not a failure — a signal (SIGCHLD from a
+            // reaped worker, say) landing mid-peek must not drop the
+            // connection.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
@@ -441,7 +455,8 @@ fn serve_wire(mut stream: TcpStream, state: &Mutex<CollectorState>, stop: &Atomi
             }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
             {
                 continue;
             }
@@ -479,13 +494,18 @@ fn serve_http(mut stream: TcpStream, state: &Mutex<CollectorState>) {
     let _ = stream.write_all(response.as_bytes());
 }
 
-/// A worker's sending half: one TCP connection to a [`Collector`],
-/// framing payloads with this worker's id and a per-connection sequence
-/// number. [`connect`](Self::connect) sends the hello; each
-/// [`send`](Self::send) ships one frame.
+/// One endpoint of a framed wire session: a TCP connection framing
+/// payloads with this endpoint's worker id and a per-connection
+/// sequence number. [`connect`](Self::connect) is the worker flavor
+/// (dials out and sends the hello); [`from_stream`](Self::from_stream)
+/// wraps an accepted connection (the coordinator side of a cluster
+/// session). Each [`send`](Self::send) ships one frame;
+/// [`recv_timeout`](Self::recv_timeout) pulls the next complete inbound
+/// frame through an incremental [`FrameReader`].
 #[derive(Debug)]
 pub struct WireClient {
     stream: TcpStream,
+    reader: FrameReader,
     worker: u64,
     seq: u64,
 }
@@ -495,16 +515,23 @@ impl WireClient {
     /// frame carrying `label`.
     pub fn connect(addr: impl ToSocketAddrs, worker: u64, label: &str) -> Result<Self, WireError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-        let mut client = Self {
-            stream,
-            worker,
-            seq: 0,
-        };
+        let mut client = Self::from_stream(stream, worker)?;
         client.send(FramePayload::Hello {
             label: label.to_string(),
         })?;
         Ok(client)
+    }
+
+    /// Wrap an already-established connection (an accepted coordinator
+    /// socket) without sending a hello. `worker` stamps outbound frames.
+    pub fn from_stream(stream: TcpStream, worker: u64) -> Result<Self, WireError> {
+        stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            worker,
+            seq: 0,
+        })
     }
 
     /// Encode and send one frame; returns the sequence number it
@@ -519,6 +546,58 @@ impl WireClient {
         let seq = self.seq;
         self.seq += 1;
         Ok(seq)
+    }
+
+    /// Receive the next complete inbound frame, waiting at most
+    /// `timeout`. `Ok(None)` means the timeout elapsed at a quiet
+    /// moment; `Err(Truncated)` means the peer closed mid-frame (a torn
+    /// write); EOF at a frame boundary surfaces as an
+    /// [`WireError::Io`] `UnexpectedEof`. `ErrorKind::Interrupted`
+    /// retries; any decode refusal is returned as-is — the caller
+    /// should drop the session.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Frame>, WireError> {
+        if let Some(frame) = self.reader.next_frame()? {
+            return Ok(Some(frame));
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        let mut chunk = [0u8; 4096];
+        loop {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Ok(None);
+            }
+            self.stream.set_read_timeout(Some(remaining))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(if self.reader.is_empty() {
+                        WireError::Io(std::io::ErrorKind::UnexpectedEof.into())
+                    } else {
+                        WireError::Truncated
+                    })
+                }
+                Ok(n) => {
+                    self.reader.push(&chunk[..n]);
+                    if let Some(frame) = self.reader.next_frame()? {
+                        return Ok(Some(frame));
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(None)
+                }
+                Err(e) => return Err(WireError::Io(e)),
+            }
+        }
+    }
+
+    /// Clone the underlying socket handle — lets a supervisor thread
+    /// call [`TcpStream::shutdown`] to unblock a peer stuck in
+    /// [`recv_timeout`](Self::recv_timeout).
+    pub fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
     }
 
     /// This client's worker id.
@@ -630,6 +709,85 @@ mod tests {
             Some(&MetricValue::Counter(10)),
             "nothing from the corrupt frame merged"
         );
+    }
+
+    #[test]
+    fn torn_write_disconnect_counts_as_decode_error_not_panic() {
+        let collector = Collector::serve("127.0.0.1:0").expect("bind");
+        let mut client = WireClient::connect(collector.addr(), 4, "torn").expect("connect");
+        wait_until(&collector, 1); // the hello landed whole
+        // Ship exactly half a metrics frame, then die — the collector
+        // sees EOF with residue in its FrameReader.
+        let bytes = Frame {
+            worker: 4,
+            seq: 1,
+            payload: FramePayload::Metrics(worker_registry(50)),
+        }
+        .encode();
+        client
+            .stream
+            .write_all(&bytes[..bytes.len() / 2])
+            .expect("torn write");
+        drop(client);
+        for _ in 0..200 {
+            if collector.decode_errors() > 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(collector.decode_errors(), 1, "torn write is accounted");
+        assert_eq!(
+            collector.merged_registry().get("qtaccel_samples_total"),
+            None,
+            "nothing from the half-frame merged"
+        );
+    }
+
+    #[test]
+    fn wire_client_recv_timeout_reports_quiet_and_torn_peers() {
+        // A coordinator/worker pair over a raw socket pair.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let dial = std::thread::spawn(move || TcpStream::connect(addr).expect("dial"));
+        let (accepted, _) = listener.accept().expect("accept");
+        let dialed = dial.join().expect("dial thread");
+        let mut coord = WireClient::from_stream(accepted, 0).expect("coord side");
+        let mut worker = WireClient::from_stream(dialed, 7).expect("worker side");
+        // Quiet peer: timeout elapses, no error.
+        assert!(matches!(
+            coord.recv_timeout(Duration::from_millis(20)),
+            Ok(None)
+        ));
+        // A whole frame arrives.
+        worker
+            .send(FramePayload::Heartbeat { nonce: 3 })
+            .expect("send beat");
+        let frame = coord
+            .recv_timeout(Duration::from_millis(500))
+            .expect("recv")
+            .expect("frame");
+        assert_eq!(frame.worker, 7);
+        assert_eq!(frame.payload, FramePayload::Heartbeat { nonce: 3 });
+        // Torn write then disconnect: typed Truncated, not a panic.
+        let bytes = Frame {
+            worker: 7,
+            seq: 1,
+            payload: FramePayload::Progress {
+                lease: 0,
+                epoch: 0,
+                samples: 9,
+            },
+        }
+        .encode();
+        worker
+            .stream
+            .write_all(&bytes[..bytes.len() - 4])
+            .expect("torn write");
+        drop(worker);
+        assert!(matches!(
+            coord.recv_timeout(Duration::from_millis(500)),
+            Err(WireError::Truncated)
+        ));
     }
 
     #[test]

@@ -280,6 +280,8 @@ pub(crate) fn read_request_head(stream: &mut TcpStream) -> RequestHead {
                     return RequestHead::TooLarge;
                 }
             }
+            // EINTR is a retry, not a stalled client.
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(_) => return RequestHead::Stalled,
         }
     }

@@ -14,13 +14,28 @@
 //! ```text
 //! word 0        magic  "QTACWIRE"
 //! word 1        format version (this module speaks version 1)
-//! word 2        frame kind (1 hello, 2 metrics delta, 3 span batch, 4 alerts)
-//! word 3        worker id (sender-chosen; the collector's merge key)
+//! word 2        frame kind (1 hello, 2 metrics delta, 3 span batch, 4 alerts,
+//!               5 hello-ack, 6 lease, 7 progress, 8 heartbeat, 9 lease done,
+//!               10 goodbye)
+//! word 3        worker id (sender-chosen; the collector's merge key — for
+//!               frames a coordinator sends *to* a worker, the recipient's id)
 //! word 4        sequence number (per-connection, starts at 0)
 //! word 5        payload length in words (1 ..= MAX_PAYLOAD_WORDS)
 //! word 6..6+n   payload (kind-specific, see below)
 //! word 6+n      CRC-32 of the preceding bytes, zero-extended to 64 bits
 //! ```
+//!
+//! Kinds 1–4 are the observability plane (worker → collector, one-way).
+//! Kinds 5–10 are the **cluster control extension** (DESIGN.md §2.16):
+//! a coordinator/worker session is the same framed stream in both
+//! directions — the coordinator acknowledges a worker's hello with
+//! capability negotiation ([`FramePayload::HelloAck`]), hands out
+//! epoch-fenced training leases ([`FramePayload::Lease`]), and the
+//! worker answers with [`FramePayload::Progress`] /
+//! [`FramePayload::Heartbeat`] while training and one
+//! [`FramePayload::LeaseDone`] (carrying the lease's whole metric
+//! contribution as a registry delta) when the lease seals. Either side
+//! closes with [`FramePayload::Goodbye`].
 //!
 //! Strings are a length word followed by the bytes zero-padded to a
 //! word boundary. Floats travel as IEEE-754 bit patterns
@@ -178,6 +193,83 @@ pub enum FramePayload {
     Spans(Vec<Span>),
     /// Watchdog alerts raised since the last alert frame.
     Alerts(Vec<Alert>),
+    /// Coordinator → worker: answer to a hello. Capability negotiation
+    /// (a bitmask the worker intersects with its own) plus the
+    /// coordinator's cluster-spec hash — a worker built from a
+    /// different spec must refuse the session rather than train the
+    /// wrong shards.
+    HelloAck {
+        /// Capability bitmask (see [`CAP_LEASE_V1`]).
+        capabilities: u64,
+        /// Hash of the coordinator's deterministic cluster spec.
+        spec_hash: u64,
+    },
+    /// Coordinator → worker: one epoch-fenced training lease.
+    Lease {
+        /// Lease id (= shard / pipeline index).
+        lease: u64,
+        /// Fencing epoch: incremented every time the coordinator
+        /// reassigns this lease; a frame carrying a stale epoch is
+        /// refused, never merged.
+        epoch: u64,
+        /// The shard's total sample budget (checkpointed progress
+        /// counts against it on resume).
+        budget: u64,
+        /// Per-shard checkpoint cadence in retired samples.
+        checkpoint_every: u64,
+    },
+    /// Worker → coordinator: lease progress (doubles as a liveness
+    /// signal; `samples` is the shard pipeline's total retired count,
+    /// restored progress included).
+    Progress {
+        /// The lease being worked.
+        lease: u64,
+        /// The epoch the worker holds the lease under.
+        epoch: u64,
+        /// Total retired samples on the shard so far.
+        samples: u64,
+    },
+    /// Worker → coordinator: pure liveness when no lease is in flight
+    /// (idle workers waiting for reassignment work still heartbeat).
+    Heartbeat {
+        /// Monotonic per-connection beat counter.
+        nonce: u64,
+    },
+    /// Worker → coordinator: the lease sealed its final checkpoint.
+    /// `delta` is the lease's **whole** metric contribution (counters
+    /// from shard birth, not from this worker's pickup), so the
+    /// coordinator's merge stays associative and each lease counts
+    /// exactly once however many workers died along the way.
+    LeaseDone {
+        /// The completed lease.
+        lease: u64,
+        /// The epoch it completed under (fence-checked at the merge).
+        epoch: u64,
+        /// Final retired-sample count (== the lease budget).
+        samples: u64,
+        /// The lease's metric contribution, merged once on acceptance.
+        delta: MetricsRegistry,
+    },
+    /// Session close, either direction (see [`goodbye_reason`]).
+    Goodbye {
+        /// Close reason code: 0 run complete, 1 refused (fencing or
+        /// spec mismatch), 2 shutting down.
+        reason: u64,
+    },
+}
+
+/// Capability bit: the v1 lease protocol (Q8.8 shard pipelines,
+/// checkpoint-file state handoff).
+pub const CAP_LEASE_V1: u64 = 1;
+
+/// Goodbye reason codes (the decoder refuses anything else).
+pub mod goodbye_reason {
+    /// The run completed; the worker may exit cleanly.
+    pub const COMPLETE: u64 = 0;
+    /// The peer refused the session (stale epoch or spec mismatch).
+    pub const REFUSED: u64 = 1;
+    /// The peer is shutting down before the run completed.
+    pub const SHUTDOWN: u64 = 2;
 }
 
 impl FramePayload {
@@ -188,6 +280,12 @@ impl FramePayload {
             FramePayload::Metrics(_) => 2,
             FramePayload::Spans(_) => 3,
             FramePayload::Alerts(_) => 4,
+            FramePayload::HelloAck { .. } => 5,
+            FramePayload::Lease { .. } => 6,
+            FramePayload::Progress { .. } => 7,
+            FramePayload::Heartbeat { .. } => 8,
+            FramePayload::LeaseDone { .. } => 9,
+            FramePayload::Goodbye { .. } => 10,
         }
     }
 }
@@ -223,36 +321,78 @@ fn push_histogram(words: &mut Vec<u64>, h: &Histogram) {
     words.push(h.max());
 }
 
+fn push_registry(w: &mut Vec<u64>, reg: &MetricsRegistry) {
+    w.push(reg.len() as u64);
+    for (name, help, value) in reg.iter() {
+        let tag = match value {
+            MetricValue::Counter(_) => 0u64,
+            MetricValue::Gauge(_) => 1,
+            MetricValue::Histogram(_) => 2,
+            MetricValue::Info(_) => 3,
+        };
+        w.push(tag);
+        push_str(w, name);
+        push_str(w, help);
+        match value {
+            MetricValue::Counter(v) => w.push(*v),
+            MetricValue::Gauge(v) => w.push(v.to_bits()),
+            MetricValue::Histogram(h) => push_histogram(w, h),
+            MetricValue::Info(labels) => {
+                w.push(labels.len() as u64);
+                for (k, v) in labels {
+                    push_str(w, k);
+                    push_str(w, v);
+                }
+            }
+        }
+    }
+}
+
 fn encode_payload(payload: &FramePayload) -> Vec<u64> {
     let mut w = Vec::new();
     match payload {
         FramePayload::Hello { label } => push_str(&mut w, label),
-        FramePayload::Metrics(reg) => {
-            w.push(reg.len() as u64);
-            for (name, help, value) in reg.iter() {
-                let tag = match value {
-                    MetricValue::Counter(_) => 0u64,
-                    MetricValue::Gauge(_) => 1,
-                    MetricValue::Histogram(_) => 2,
-                    MetricValue::Info(_) => 3,
-                };
-                w.push(tag);
-                push_str(&mut w, name);
-                push_str(&mut w, help);
-                match value {
-                    MetricValue::Counter(v) => w.push(*v),
-                    MetricValue::Gauge(v) => w.push(v.to_bits()),
-                    MetricValue::Histogram(h) => push_histogram(&mut w, h),
-                    MetricValue::Info(labels) => {
-                        w.push(labels.len() as u64);
-                        for (k, v) in labels {
-                            push_str(&mut w, k);
-                            push_str(&mut w, v);
-                        }
-                    }
-                }
-            }
+        FramePayload::Metrics(reg) => push_registry(&mut w, reg),
+        FramePayload::HelloAck {
+            capabilities,
+            spec_hash,
+        } => {
+            w.push(*capabilities);
+            w.push(*spec_hash);
         }
+        FramePayload::Lease {
+            lease,
+            epoch,
+            budget,
+            checkpoint_every,
+        } => {
+            w.push(*lease);
+            w.push(*epoch);
+            w.push(*budget);
+            w.push(*checkpoint_every);
+        }
+        FramePayload::Progress {
+            lease,
+            epoch,
+            samples,
+        } => {
+            w.push(*lease);
+            w.push(*epoch);
+            w.push(*samples);
+        }
+        FramePayload::Heartbeat { nonce } => w.push(*nonce),
+        FramePayload::LeaseDone {
+            lease,
+            epoch,
+            samples,
+            delta,
+        } => {
+            w.push(*lease);
+            w.push(*epoch);
+            w.push(*samples);
+            push_registry(&mut w, delta);
+        }
+        FramePayload::Goodbye { reason } => w.push(*reason),
         FramePayload::Spans(spans) => {
             w.push(spans.len() as u64);
             for s in spans {
@@ -396,63 +536,65 @@ fn valid_metric_name(name: &str, is_counter: bool) -> bool {
         && (!is_counter || name.ends_with("_total"))
 }
 
+fn take_registry(r: &mut PayloadReader<'_>) -> Result<MetricsRegistry, WireError> {
+    let count = r.take()?;
+    let mut reg = MetricsRegistry::new();
+    for _ in 0..count {
+        let tag = r.take()?;
+        let name = r.take_str()?;
+        let help = r.take_str()?;
+        if !valid_metric_name(&name, tag == 0) {
+            return Err(WireError::BadPayload(format!(
+                "metric name `{name}` violates the qtaccel_* scheme"
+            )));
+        }
+        match tag {
+            0 => reg.set_counter(&name, &help, r.take()?),
+            1 => reg.set_gauge(&name, &help, f64::from_bits(r.take()?)),
+            2 => {
+                let h = r.take_histogram()?;
+                reg.set_histogram(&name, &help, &h);
+            }
+            3 => {
+                let pairs = r.take()?;
+                let mut labels = Vec::new();
+                for _ in 0..pairs {
+                    let k = r.take_str()?;
+                    let v = r.take_str()?;
+                    if k.is_empty()
+                        || !k
+                            .bytes()
+                            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+                    {
+                        return Err(WireError::BadPayload(format!(
+                            "info label key `{k}` is not snake_case"
+                        )));
+                    }
+                    labels.push((k, v));
+                }
+                let borrowed: Vec<(&str, &str)> = labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                reg.set_info(&name, &help, &borrowed);
+            }
+            other => {
+                return Err(WireError::BadPayload(format!(
+                    "unknown metric tag {other}"
+                )))
+            }
+        }
+    }
+    Ok(reg)
+}
+
 fn decode_payload(kind: u64, words: &[u64]) -> Result<FramePayload, WireError> {
     let mut r = PayloadReader { words, pos: 0 };
     let payload = match kind {
         1 => FramePayload::Hello {
             label: r.take_str()?,
         },
-        2 => {
-            let count = r.take()?;
-            let mut reg = MetricsRegistry::new();
-            for _ in 0..count {
-                let tag = r.take()?;
-                let name = r.take_str()?;
-                let help = r.take_str()?;
-                if !valid_metric_name(&name, tag == 0) {
-                    return Err(WireError::BadPayload(format!(
-                        "metric name `{name}` violates the qtaccel_* scheme"
-                    )));
-                }
-                match tag {
-                    0 => reg.set_counter(&name, &help, r.take()?),
-                    1 => reg.set_gauge(&name, &help, f64::from_bits(r.take()?)),
-                    2 => {
-                        let h = r.take_histogram()?;
-                        reg.set_histogram(&name, &help, &h);
-                    }
-                    3 => {
-                        let pairs = r.take()?;
-                        let mut labels = Vec::new();
-                        for _ in 0..pairs {
-                            let k = r.take_str()?;
-                            let v = r.take_str()?;
-                            if k.is_empty()
-                                || !k.bytes().all(|b| {
-                                    b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_'
-                                })
-                            {
-                                return Err(WireError::BadPayload(format!(
-                                    "info label key `{k}` is not snake_case"
-                                )));
-                            }
-                            labels.push((k, v));
-                        }
-                        let borrowed: Vec<(&str, &str)> = labels
-                            .iter()
-                            .map(|(k, v)| (k.as_str(), v.as_str()))
-                            .collect();
-                        reg.set_info(&name, &help, &borrowed);
-                    }
-                    other => {
-                        return Err(WireError::BadPayload(format!(
-                            "unknown metric tag {other}"
-                        )))
-                    }
-                }
-            }
-            FramePayload::Metrics(reg)
-        }
+        2 => FramePayload::Metrics(take_registry(&mut r)?),
         3 => {
             let count = r.take()?;
             let mut spans = Vec::new();
@@ -502,6 +644,37 @@ fn decode_payload(kind: u64, words: &[u64]) -> Result<FramePayload, WireError> {
                 });
             }
             FramePayload::Alerts(alerts)
+        }
+        5 => FramePayload::HelloAck {
+            capabilities: r.take()?,
+            spec_hash: r.take()?,
+        },
+        6 => FramePayload::Lease {
+            lease: r.take()?,
+            epoch: r.take()?,
+            budget: r.take()?,
+            checkpoint_every: r.take()?,
+        },
+        7 => FramePayload::Progress {
+            lease: r.take()?,
+            epoch: r.take()?,
+            samples: r.take()?,
+        },
+        8 => FramePayload::Heartbeat { nonce: r.take()? },
+        9 => FramePayload::LeaseDone {
+            lease: r.take()?,
+            epoch: r.take()?,
+            samples: r.take()?,
+            delta: take_registry(&mut r)?,
+        },
+        10 => {
+            let reason = r.take()?;
+            if reason > goodbye_reason::SHUTDOWN {
+                return Err(WireError::BadPayload(format!(
+                    "unknown goodbye reason {reason}"
+                )));
+            }
+            FramePayload::Goodbye { reason }
         }
         other => return Err(WireError::BadKind { found: other }),
     };
@@ -558,7 +731,7 @@ impl FrameReader {
                 found: self.word(1),
             });
         }
-        if self.buf.len() >= 24 && !(1..=4).contains(&self.word(2)) {
+        if self.buf.len() >= 24 && !(1..=10).contains(&self.word(2)) {
             return Err(WireError::BadKind {
                 found: self.word(2),
             });
@@ -713,6 +886,98 @@ mod tests {
             };
             let decoded = Frame::decode(&frame.encode()).expect("round trip");
             assert_eq!(decoded, frame, "payload {i}");
+        }
+    }
+
+    #[test]
+    fn every_cluster_control_kind_round_trips() {
+        let payloads = [
+            FramePayload::HelloAck {
+                capabilities: CAP_LEASE_V1,
+                spec_hash: 0xDEAD_BEEF_CAFE_F00D,
+            },
+            FramePayload::Lease {
+                lease: 3,
+                epoch: 2,
+                budget: 250_000,
+                checkpoint_every: 65_536,
+            },
+            FramePayload::Progress {
+                lease: 3,
+                epoch: 2,
+                samples: 131_072,
+            },
+            FramePayload::Heartbeat { nonce: 41 },
+            FramePayload::LeaseDone {
+                lease: 3,
+                epoch: 2,
+                samples: 250_000,
+                delta: sample_registry(),
+            },
+            FramePayload::Goodbye {
+                reason: goodbye_reason::REFUSED,
+            },
+        ];
+        for (i, payload) in payloads.into_iter().enumerate() {
+            let kind = payload.kind();
+            assert_eq!(kind, 5 + i as u64, "kind words stay contiguous");
+            let frame = Frame {
+                worker: 9,
+                seq: i as u64,
+                payload,
+            };
+            let decoded = Frame::decode(&frame.encode()).expect("round trip");
+            assert_eq!(decoded, frame, "cluster kind {kind}");
+        }
+    }
+
+    #[test]
+    fn goodbye_refuses_unknown_reason_codes() {
+        let mut bytes = Frame {
+            worker: 0,
+            seq: 0,
+            payload: FramePayload::Goodbye {
+                reason: goodbye_reason::COMPLETE,
+            },
+        }
+        .encode();
+        // Overwrite the single payload word with a reason nobody speaks,
+        // then restamp the CRC so only the payload check can refuse it.
+        bytes[HEADER_WORDS * 8..HEADER_WORDS * 8 + 8].copy_from_slice(&99u64.to_le_bytes());
+        let crc = crc32(&bytes[..bytes.len() - 8]) as u64;
+        let tail = bytes.len() - 8;
+        bytes[tail..].copy_from_slice(&crc.to_le_bytes());
+        match Frame::decode(&bytes) {
+            Err(WireError::BadPayload(what)) => assert!(what.contains("goodbye reason")),
+            other => panic!("expected BadPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lease_done_rejects_foreign_metric_names_like_metrics_frames() {
+        let mut delta = MetricsRegistry::new();
+        delta.set_counter("qtaccel_samples_total", "samples", 7);
+        let frame = Frame {
+            worker: 1,
+            seq: 0,
+            payload: FramePayload::LeaseDone {
+                lease: 0,
+                epoch: 0,
+                samples: 7,
+                delta,
+            },
+        };
+        let mut bytes = frame.encode();
+        // Corrupt the first byte of the metric name ("qtaccel_..." lives
+        // after lease/epoch/samples + registry count + tag + name length).
+        let name_offset = (HEADER_WORDS + 3 + 1 + 1 + 1) * 8;
+        bytes[name_offset] = b'z';
+        let crc = crc32(&bytes[..bytes.len() - 8]) as u64;
+        let tail = bytes.len() - 8;
+        bytes[tail..].copy_from_slice(&crc.to_le_bytes());
+        match Frame::decode(&bytes) {
+            Err(WireError::BadPayload(what)) => assert!(what.contains("qtaccel_")),
+            other => panic!("expected BadPayload, got {other:?}"),
         }
     }
 

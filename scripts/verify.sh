@@ -19,8 +19,15 @@
 # (three concurrent workers stream wire deltas into an ephemeral
 # collector; the merged scrape must sum bit-exactly and the exported
 # multi-process Perfetto trace must re-parse strictly with per-track
-# monotonic timestamps and zero decode errors), and
-# two instrumented quick benches that fail if (a) the
+# monotonic timestamps and zero decode errors), the distributed
+# training-cluster suite (DESIGN.md §2.16: kill-tolerant epoch-fenced
+# lease reassignment, heartbeat-deadline partitions, zombie fencing,
+# spec-hash refusal — every failure mode must end bit-identical to the
+# single-process reference) plus its process-level chaos harness
+# (bench_distributed --quick --chaos: real SIGKILLs against worker
+# processes, a forced heartbeat-deadline partition, wire corruption;
+# gates on exact merged sample totals and bit-identical Q/Qmax images),
+# and two instrumented quick benches that fail if (a) the
 # disabled-telemetry (NullSink) fast path or (b) the scale-out
 # executor's aggregate rate regressed >5% against the tracked
 # BENCH_throughput.json / BENCH_scaling.json baselines — (a) holds with
@@ -37,62 +44,102 @@
 # quality at the horizon-covered anchor).
 # Quick runs write results/BENCH_*_quick.json; the tracked root
 # baselines are only refreshed by full (no --quick) runs.
+#
+# Hardening: every gate runs under a hard timeout so a hung socket or a
+# deadlocked supervisor fails the script instead of wedging CI, and an
+# EXIT trap reaps stray worker/collector children (e.g. SIGKILL-spawned
+# bench_distributed workers orphaned by an aborted chaos leg).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo build (release, offline) =="
-cargo build --release --offline --workspace
+# Reap any children this script's gates left behind: cluster worker
+# processes re-exec'd by bench_distributed, and anything else still
+# parented to this shell. Never fails the script itself.
+cleanup() {
+  pkill -f 'bench_distributed.*--worker' 2>/dev/null || true
+  local kids
+  kids=$(jobs -p 2>/dev/null || true)
+  [ -n "$kids" ] && kill $kids 2>/dev/null || true
+}
+trap cleanup EXIT
 
-echo "== cargo test (offline) =="
-cargo test -q --offline --workspace
+# gate <seconds> <description> <command...> — run one labeled gate
+# under a hard timeout. 124 (timeout's kill exit) gets a clear message.
+gate() {
+  local secs="$1" desc="$2" rc=0
+  shift 2
+  echo "== $desc =="
+  timeout --kill-after=10 "$secs" "$@" || rc=$?
+  if [ "$rc" -ne 0 ]; then
+    if [ "$rc" -eq 124 ] || [ "$rc" -eq 137 ]; then
+      echo "gate timed out after ${secs}s: $desc" >&2
+    fi
+    exit "$rc"
+  fi
+}
 
-echo "== telemetry equivalence suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test telemetry
+gate 1200 "cargo build (release, offline)" \
+  cargo build --release --offline --workspace
 
-echo "== scale-out determinism suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test scaling
+gate 1200 "cargo test (offline)" \
+  cargo test -q --offline --workspace
 
-echo "== metrics-service suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test metrics
+gate 600 "telemetry equivalence suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test telemetry
 
-echo "== wire-protocol damage matrix (release) =="
-cargo test -q --release --offline -p qtaccel-telemetry --test wire
+gate 600 "scale-out determinism suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test scaling
 
-echo "== span determinism + collector round-trip suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test spans
+gate 600 "metrics-service suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test metrics
 
-echo "== metrics smoke: serve, scrape, validate + multi-worker collector gate =="
-cargo run --release --offline -p qtaccel-bench --bin metrics_smoke -- --streams 4
+gate 600 "wire-protocol damage matrix (release)" \
+  cargo test -q --release --offline -p qtaccel-telemetry --test wire
+
+gate 600 "span determinism + collector round-trip suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test spans
+
+gate 600 "metrics smoke: serve, scrape, validate + multi-worker collector gate" \
+  cargo run --release --offline -p qtaccel-bench --bin metrics_smoke -- --streams 4
 test -s results/collector_trace.json || { echo "collector trace export missing"; exit 1; }
 
-echo "== training-health suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test health
+gate 600 "training-health suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test health
 
-echo "== fault-injection suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test faults
+gate 600 "fault-injection suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test faults
 
-echo "== checkpoint/restore suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test checkpoint
+gate 600 "checkpoint/restore suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test checkpoint
 
-echo "== interleaved-executor bit-exactness suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test interleave
+gate 600 "interleaved-executor bit-exactness suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test interleave
 
-echo "== quantized stored-format suite (release) =="
-cargo test -q --release --offline -p qtaccel-accel --test quant
+gate 600 "quantized stored-format suite (release)" \
+  cargo test -q --release --offline -p qtaccel-accel --test quant
 
-echo "== cargo clippy (offline, deny warnings) =="
-cargo clippy --offline --workspace --all-targets -- -D warnings
+gate 600 "distributed training-cluster suite (release)" \
+  cargo test -q --release --offline -p qtaccel-cluster
 
-echo "== bench_throughput --quick --check-baseline =="
-cargo run --release --offline -p qtaccel-bench --bin bench_throughput -- --quick --check-baseline
+gate 900 "cargo clippy (offline, deny warnings)" \
+  cargo clippy --offline --workspace --all-targets -- -D warnings
 
-echo "== bench_scaling --quick --check-baseline =="
-cargo run --release --offline -p qtaccel-bench --bin bench_scaling -- --quick --check-baseline
+gate 300 "cargo clippy: qtaccel-cluster (explicit, deny warnings)" \
+  cargo clippy --offline -p qtaccel-cluster --all-targets -- -D warnings
 
-echo "== bench_faults --quick (protection-ladder gate) =="
-cargo run --release --offline -p qtaccel-bench --bin bench_faults -- --quick
+gate 600 "bench_throughput --quick --check-baseline" \
+  cargo run --release --offline -p qtaccel-bench --bin bench_throughput -- --quick --check-baseline
 
-echo "== format_sweep --quick --check (8-bit quality gate) =="
-cargo run --release --offline -p qtaccel-bench --bin format_sweep -- --quick --check
+gate 600 "bench_scaling --quick --check-baseline" \
+  cargo run --release --offline -p qtaccel-bench --bin bench_scaling -- --quick --check-baseline
+
+gate 600 "bench_faults --quick (protection-ladder gate)" \
+  cargo run --release --offline -p qtaccel-bench --bin bench_faults -- --quick
+
+gate 600 "format_sweep --quick --check (8-bit quality gate)" \
+  cargo run --release --offline -p qtaccel-bench --bin format_sweep -- --quick --check
+
+gate 600 "bench_distributed --quick --chaos (kill/partition/corruption gate)" \
+  cargo run --release --offline -p qtaccel-bench --bin bench_distributed -- --quick --chaos
 
 echo "verify: OK"

@@ -21,6 +21,10 @@
 //!   structured event-trace sinks (ring/JSONL) every engine accepts via
 //!   `with_sink`, and the JSON emitter/parser behind run reports. Off by
 //!   default and free when off (DESIGN.md §2.6).
+//! * [`cluster`] — the fault-tolerant multi-process training runtime:
+//!   a supervising coordinator hands epoch-fenced shard leases to worker
+//!   processes over the telemetry wire protocol and survives kills,
+//!   partitions and zombies bit-exactly (DESIGN.md §2.16).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,7 @@
 
 pub use qtaccel_accel as accel;
 pub use qtaccel_baseline as baseline;
+pub use qtaccel_cluster as cluster;
 pub use qtaccel_core as core;
 pub use qtaccel_envs as envs;
 pub use qtaccel_fixed as fixed;
